@@ -1,0 +1,56 @@
+"""E-size — Theorem 5.1(iii): |E⁺| = O(n + n^{2μ}) and |E| = O(n + n^{2μ}).
+
+Sweep n per grid family and fit the exponent of |E⁺|: ≈ max(1, 2μ)
+(with the log factor at 2μ = 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.complexity import fit_exponent, fit_exponent_with_log
+from repro.analysis.tables import render_table
+from repro.core.leaves_up import augment_leaves_up
+from repro.separators.grid import decompose_grid
+from repro.workloads.generators import grid_digraph
+
+FAMILIES = {
+    "grid2d": dict(
+        shapes=[(18, 18), (26, 26), (38, 38), (54, 54), (76, 76), (108, 108)], mu=0.5, logs=1
+    ),
+    "grid3d": dict(shapes=[(5, 5, 5), (7, 7, 7), (9, 9, 9), (11, 11, 11), (13, 13, 13)], mu=2 / 3, logs=0),
+    "path": dict(shapes=[(300,), (800, 1), (2000, 1), (5000, 1)], mu=0.0, logs=0),
+}
+
+
+@pytest.mark.parametrize("family", list(FAMILIES))
+def test_eplus_size_exponent(benchmark, report, family):
+    cfg = FAMILIES[family]
+    rows, sizes, eplus = [], [], []
+    last = None
+    for shape in cfg["shapes"]:
+        rng = np.random.default_rng(0)
+        g = grid_digraph(shape, rng)
+        tree = decompose_grid(g, shape)
+        aug = augment_leaves_up(g, tree, keep_node_distances=False)
+        sizes.append(g.n)
+        eplus.append(aug.size)
+        rows.append([g.n, g.m, aug.size, aug.size / g.n])
+        last = (g, tree)
+    fit = (
+        fit_exponent_with_log(sizes, eplus) if cfg["logs"] else fit_exponent(sizes, eplus)
+    )
+    expected = max(1.0, 2 * cfg["mu"])
+    table = render_table(
+        ["n", "m", "|E+|", "|E+|/n"],
+        rows,
+        title=(
+            f"E-size {family} (μ={cfg['mu']:.2f}): |E+| ~ {fit}"
+            f"{'·log n' if cfg['logs'] else ''} — paper: n^{expected:.2f}"
+        ),
+    )
+    report(f"E-size-{family}", table + f"\n\nfitted {fit.exponent:.3f} vs theory {expected:.2f}")
+    assert abs(fit.exponent - expected) < 0.4
+    benchmark.extra_info["exponent"] = fit.exponent
+    g, tree = last
+    benchmark(lambda: augment_leaves_up(g, tree, keep_node_distances=False).size)

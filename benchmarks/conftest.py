@@ -1,0 +1,39 @@
+"""Shared benchmark infrastructure.
+
+Each bench regenerates one paper artifact (DESIGN.md §4).  pytest-benchmark
+measures wall-clock; the *paper-shape* evidence (ledger work, fitted
+exponents, bound checks) is written as markdown rows into
+``benchmarks/results/<exp_id>.md`` so EXPERIMENTS.md can quote it, and is
+also attached to ``benchmark.extra_info`` for the JSON output.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def report(results_dir):
+    """``report(exp_id, text)`` — persist a paper-shape table/finding."""
+
+    def write(exp_id: str, text: str) -> None:
+        path = results_dir / f"{exp_id}.md"
+        path.write_text(text.rstrip() + "\n")
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(2026)

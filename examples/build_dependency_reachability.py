@@ -1,0 +1,63 @@
+"""Scenario: incremental-build impact analysis via transitive closure.
+
+A monorepo's build graph (modules + dependency edges) is sparse and
+tree-ish, so it has tiny separators.  "If module X changes, what must be
+rebuilt?" is reachability from X — the paper's boolean specialization
+(§5), whose preprocessing costs Õ(M(n^μ)) boolean-matrix work instead of
+M(n).
+
+Run:  python examples/build_dependency_reachability.py
+"""
+
+import numpy as np
+
+from repro.core.digraph import WeightedDigraph
+from repro.core.reach import reachability_augmentation, reachable_from
+from repro.separators.spectral import decompose_spectral
+from repro.separators.quality import assess
+
+
+def build_graph(rng: np.random.Generator, n: int = 400) -> WeightedDigraph:
+    """Layered DAG: module i may depend on a few earlier modules, with
+    locality (dependencies cluster near the module) so separators are
+    small — the shape of real build graphs."""
+    src, dst = [], []
+    for v in range(1, n):
+        for _ in range(int(rng.integers(1, 4))):
+            lo = max(0, v - 25)
+            u = int(rng.integers(lo, v))
+            src.append(u)   # u is a dependency of v: changing u rebuilds v
+            dst.append(v)
+    return WeightedDigraph(n, np.array(src), np.array(dst), np.ones(len(src)))
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    g = build_graph(rng)
+    print(f"build graph: {g.n} modules, {g.m} dependency edges")
+
+    tree = decompose_spectral(g, leaf_size=8)
+    print("decomposition:", assess(tree).summary())
+
+    aug = reachability_augmentation(g, tree)
+    print(f"boolean E+ size: {aug.size}")
+
+    changed = [3, 57, 200]
+    impact = reachable_from(aug, changed)
+    for i, m in enumerate(changed):
+        count = int(impact[i].sum())
+        sample = np.nonzero(impact[i])[0][:8].tolist()
+        print(f"change in module {m:3d} -> rebuild {count:3d} modules "
+              f"(e.g. {sample})")
+
+    # Cross-check one row with a plain BFS.
+    import networkx as nx
+
+    want = set(nx.descendants(g.to_networkx(), changed[0]))
+    got = set(np.nonzero(impact[0])[0].tolist()) - {changed[0]}
+    assert got == want, "oracle disagrees with BFS"
+    print("verified against networkx BFS")
+
+
+if __name__ == "__main__":
+    main()

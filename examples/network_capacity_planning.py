@@ -1,0 +1,60 @@
+"""Scenario: widest-path capacity planning over a datacenter fabric.
+
+The same separator machinery answers *path algebra* problems beyond
+shortest paths (paper comment (iii)): here the max-min (bottleneck)
+semiring computes, for every rack pair, the largest flow a single path can
+carry — and the min-max semiring the smallest "worst link" — on a 2-D
+toroidal-ish fabric with heterogeneous link capacities.
+
+Run:  python examples/network_capacity_planning.py
+"""
+
+import numpy as np
+
+from repro.core.leaves_up import augment_leaves_up, dense_semiring_weights
+from repro.core.semiring import MAX_MIN, MIN_MAX
+from repro.core.sssp import sssp_scheduled
+from repro.kernels.floyd_warshall import floyd_warshall
+from repro.separators.grid import decompose_grid
+from repro.workloads.generators import grid_digraph
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    shape = (12, 12)
+    g = grid_digraph(shape, rng, weight_range=(1.0, 100.0))  # link Gbps
+    print(f"fabric: {g.n} racks, {g.m} directed links, "
+          f"capacities {g.weight.min():.0f}-{g.weight.max():.0f} Gbps")
+
+    tree = decompose_grid(g, shape)
+
+    # Bottleneck capacities from the two core racks (max-min algebra).
+    aug = augment_leaves_up(g, tree, MAX_MIN, keep_node_distances=False)
+    cores = [0, g.n - 1]
+    widest = sssp_scheduled(aug, cores)
+    print(f"widest-path capacity from rack {cores[0]}: "
+          f"median {np.median(widest[0]):.1f} Gbps, "
+          f"worst rack {widest[0].min():.1f} Gbps")
+
+    # Verify against generalized Floyd-Warshall.
+    ref = floyd_warshall(dense_semiring_weights(g, MAX_MIN), MAX_MIN)
+    assert np.allclose(widest, ref[cores])
+    print("verified against generalized Floyd-Warshall")
+
+    # Minimax latencies: treat weights as per-link latency and minimize the
+    # worst link en route (min-max algebra).
+    aug2 = augment_leaves_up(g, tree, MIN_MAX, keep_node_distances=False)
+    minimax = sssp_scheduled(aug2, [0])
+    ref2 = floyd_warshall(dense_semiring_weights(g, MIN_MAX), MIN_MAX)
+    assert np.allclose(minimax, ref2[0])
+    print(f"minimax 'worst link' from rack 0: median {np.median(minimax):.1f}, "
+          f"max {minimax[np.isfinite(minimax)].max():.1f}")
+
+    # Which racks would be upgraded first?  Those whose bottleneck from the
+    # core is far below the fabric median.
+    weak = np.nonzero(widest[0] < 0.5 * np.median(widest[0]))[0]
+    print(f"racks below half-median core bandwidth: {weak.tolist()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so editable installs work on offline hosts
+without the ``wheel`` package (pip's legacy ``setup.py develop`` path):
+
+    pip install -e . --no-use-pep517 --no-build-isolation --no-deps
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,2 @@
+"""Experiment analysis: scaling-exponent fits, table rendering, and the
+benchmark-results aggregator."""

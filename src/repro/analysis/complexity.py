@@ -1,0 +1,53 @@
+"""Scaling-exponent estimation for the Table-1 benches.
+
+The paper's claims are asymptotic (work = Θ(n^e · polylog)); the benches
+measure ledger work at a sweep of sizes and fit the exponent on a log-log
+scale, optionally dividing out polylog factors first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ExponentFit", "fit_exponent", "fit_exponent_with_log"]
+
+
+@dataclass(frozen=True)
+class ExponentFit:
+    """Least-squares fit ``y ≈ C · x^exponent`` (on log-log scale)."""
+
+    exponent: float
+    log_constant: float
+    r_squared: float
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted power law at ``x``."""
+        return np.exp(self.log_constant) * np.asarray(x, dtype=float) ** self.exponent
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"x^{self.exponent:.3f} (R²={self.r_squared:.4f})"
+
+
+def fit_exponent(sizes, values) -> ExponentFit:
+    """Fit the exponent of ``values ~ sizes^e``."""
+    x = np.log(np.asarray(sizes, dtype=np.float64))
+    y = np.log(np.asarray(values, dtype=np.float64))
+    if x.shape[0] < 2:
+        raise ValueError("need at least two points to fit an exponent")
+    slope, intercept = np.polyfit(x, y, 1)
+    pred = slope * x + intercept
+    ss_res = float(((y - pred) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return ExponentFit(exponent=float(slope), log_constant=float(intercept), r_squared=r2)
+
+
+def fit_exponent_with_log(sizes, values, *, log_power: int = 1) -> ExponentFit:
+    """Fit after dividing out ``log(n)^log_power`` — for claims of the form
+    Θ(n^e logᵖ n), fitting ``values / logᵖ(n)`` isolates the polynomial
+    part."""
+    sizes = np.asarray(sizes, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64) / np.log(sizes) ** log_power
+    return fit_exponent(sizes, values)

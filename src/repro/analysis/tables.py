@@ -1,0 +1,37 @@
+"""Plain-text table rendering for benchmark reports (EXPERIMENTS.md rows)."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(v: Any) -> str:
+    """Compact human-readable rendering of a table cell."""
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1e5 or abs(v) < 1e-3:
+            return f"{v:.3g}"
+        return f"{v:.3f}".rstrip("0").rstrip(".")
+    return str(v)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], *, title: str = "") -> str:
+    """Markdown-ish aligned table."""
+    cells = [[format_value(c) for c in r] for r in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def fmt_row(r: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(r, widths)) + " |"
+
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+    lines.append(fmt_row(list(headers)))
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    lines.extend(fmt_row(r) for r in cells)
+    return "\n".join(lines)

@@ -1,0 +1,2 @@
+"""Applications on top of the oracle: k-pair routing/distance oracles and
+two-variable linear-inequality (difference/UTVPI) solvers."""

@@ -1,0 +1,273 @@
+"""Command-line harness: ``repro-spsp`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``fig1``    regenerate the paper's Figure 1 (separator tree of the 9×9 grid)
+``fig2``    regenerate Figure 2 (level-labeled path + right shortcuts)
+``stats``   build the oracle on a generated workload and print its numbers
+``table1``  quick Table-1-style sweep (ledger work vs n, fitted exponents)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_fig1(args) -> int:
+    from .core.api import ShortestPathOracle
+    from .separators.grid import decompose_grid
+    from .workloads.generators import grid_digraph
+
+    side = args.side
+    g = grid_digraph((side, side), np.random.default_rng(args.seed))
+    tree = decompose_grid(g, (side, side), leaf_size=args.leaf_size)
+    print(f"Separator decomposition tree of the {side}x{side} grid "
+          f"(paper Fig. 1; leaf_size={args.leaf_size})")
+    print(f"nodes={len(tree.nodes)} height={tree.height}\n")
+    for t in tree.nodes:
+        if t.level > args.max_depth:
+            continue
+        pad = "  " * t.level
+        kind = "leaf" if t.is_leaf else "node"
+        sep = "" if t.is_leaf else f" S(t)={t.separator.tolist()}"
+        print(f"{pad}{kind} {t.idx}: |V|={t.size} |B|={t.boundary.shape[0]}{sep}")
+    oracle = ShortestPathOracle.build(g, tree)
+    print("\noracle:", oracle.stats())
+    return 0
+
+
+def _cmd_fig2(args) -> int:
+    from .core.shortcuts import is_bitonic_with_pairs, shortcut_chain
+    from .separators.grid import decompose_grid
+    from .workloads.generators import grid_digraph
+
+    rng = np.random.default_rng(args.seed)
+    side = args.side
+    g = grid_digraph((side, side), rng)
+    tree = decompose_grid(g, (side, side), leaf_size=args.leaf_size)
+    # A boustrophedon walk across the grid makes a long, level-rich path.
+    path = []
+    for r in range(side):
+        cols = range(side) if r % 2 == 0 else range(side - 1, -1, -1)
+        path.extend(r * side + c for c in cols)
+    levels = tree.vertex_level[np.array(path)]
+    chain = shortcut_chain(levels)
+    chain_levels = [int(levels[i]) for i in chain]
+    print("Right shortcuts on a level-labeled path (paper Fig. 2)")
+    print("path levels:", " ".join("∞" if l < 0 else str(int(l)) for l in levels[:60]),
+          "..." if len(path) > 60 else "")
+    print("shortcut chain positions:", chain)
+    print("chain levels:", chain_levels)
+    print(f"chain size {len(chain) - 1} <= 4·d_G + 1 = {4 * tree.height + 1}:",
+          len(chain) - 1 <= 4 * tree.height + 1)
+    print("bitonic with ≤2-runs:", is_bitonic_with_pairs(chain_levels))
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from .core.api import ShortestPathOracle
+    from .separators.grid import decompose_grid
+    from .separators.quality import assess
+    from .workloads.generators import delaunay_digraph, grid_digraph
+
+    rng = np.random.default_rng(args.seed)
+    if args.family == "grid":
+        side = int(round(np.sqrt(args.n)))
+        g = grid_digraph((side, side), rng)
+        tree = decompose_grid(g, (side, side), leaf_size=args.leaf_size)
+    else:
+        g, _ = delaunay_digraph(args.n, rng)
+        from .separators.planar import decompose_planar
+
+        tree = decompose_planar(g, leaf_size=args.leaf_size)
+    oracle = ShortestPathOracle.build(g, tree, method=args.method)
+    print("decomposition:", assess(tree).summary())
+    for k, v in oracle.stats().items():
+        print(f"  {k}: {v}")
+    srcs = rng.integers(0, g.n, size=args.sources)
+    d = oracle.distances(srcs)
+    print(f"queried {args.sources} sources; finite fraction "
+          f"{np.isfinite(d).mean():.3f}; query work {oracle.query_ledger.work:.3g}")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from .analysis.complexity import fit_exponent, fit_exponent_with_log
+    from .analysis.tables import render_table
+    from .core.leaves_up import augment_leaves_up
+    from .core.scheduler import build_schedule
+    from .core.sssp import sssp_scheduled
+    from .pram.machine import Ledger
+    from .separators.grid import decompose_grid
+    from .workloads.generators import grid_digraph
+
+    rng = np.random.default_rng(args.seed)
+    if args.mu is not None:
+        # Programmable-μ sweep on the synthetic family.
+        from .workloads.synthetic import separator_programmable_family
+
+        rows, sizes, pre_w, src_w = [], [], [], []
+        for n in args.sizes:
+            g, tree = separator_programmable_family(n, args.mu, rng)
+            led, qled = Ledger(), Ledger()
+            aug = augment_leaves_up(g, tree, ledger=led, keep_node_distances=False)
+            sssp_scheduled(aug, [0], schedule=build_schedule(aug), ledger=qled)
+            sizes.append(n)
+            pre_w.append(led.work)
+            src_w.append(qled.work)
+            rows.append([n, g.m, aug.size, led.work, qled.work])
+        print(render_table(
+            ["n", "m", "|E+|", "preproc work", "per-source work"], rows,
+            title=f"Table 1 at programmed μ = {args.mu}",
+        ))
+        if len(sizes) >= 2:
+            print("\npreprocessing exponent:", fit_exponent_with_log(sizes, pre_w),
+                  f" (theory {max(1.0, 3 * args.mu):.2f})")
+            print("per-source exponent:   ", fit_exponent_with_log(sizes, src_w),
+                  f" (theory {max(1.0, 2 * args.mu):.2f})")
+        return 0
+    rows = []
+    sizes, pre_work, src_work = [], [], []
+    for side in args.sides:
+        g = grid_digraph((side, side), rng)
+        tree = decompose_grid(g, (side, side), leaf_size=args.leaf_size)
+        led = Ledger()
+        aug = augment_leaves_up(g, tree, ledger=led, keep_node_distances=False)
+        qled = Ledger()
+        schedule = build_schedule(aug)
+        sssp_scheduled(aug, [0], schedule=schedule, ledger=qled)
+        sizes.append(g.n)
+        pre_work.append(led.work)
+        src_work.append(qled.work)
+        rows.append([g.n, g.m, aug.size, led.work, led.depth, qled.work])
+    print(render_table(
+        ["n", "m", "|E+|", "preproc work", "preproc depth", "per-source work"],
+        rows,
+        title="Table 1 shape on 2-D grids (μ = 1/2)",
+    ))
+    if len(sizes) >= 2:
+        print("\npreprocessing work exponent:", fit_exponent(sizes, pre_work))
+        print("per-source work exponent:   ", fit_exponent(sizes, src_work))
+        print("(paper: 3μ = 1.5 · polylog for preprocessing, "
+              "n log n per source at μ = 1/2)")
+    return 0
+
+
+def _cmd_selftest(args) -> int:
+    """End-to-end self-verification on randomized workloads: builds the full
+    pipeline across families/methods and cross-checks against independent
+    baselines.  Exit code 0 = healthy install."""
+    from .core.api import ShortestPathOracle
+    from .kernels.dijkstra import dijkstra
+    from .kernels.johnson import johnson
+    from .separators.grid import decompose_grid
+    from .separators.quality import assess
+    from .workloads.generators import (
+        apply_potential_weights,
+        delaunay_digraph,
+        grid_digraph,
+    )
+
+    rng = np.random.default_rng(args.seed)
+    failures = 0
+
+    def check(name: str, ok: bool) -> None:
+        nonlocal failures
+        print(f"  [{'ok' if ok else 'FAIL'}] {name}")
+        failures += 0 if ok else 1
+
+    print("selftest: grid family")
+    g = grid_digraph((12, 12), rng)
+    tree = decompose_grid(g, (12, 12))
+    check("decomposition valid", not tree.validate(g, strict=False))
+    for method in ("leaves_up", "doubling", "doubling_shared"):
+        oracle = ShortestPathOracle.build(g, tree, method=method)
+        ok = np.allclose(oracle.distances(0), dijkstra(g, 0))
+        check(f"{method} distances == dijkstra", ok)
+        check(f"{method} E+ self-check", oracle.augmentation.verify_edges() < 1e-6)
+        check(
+            f"{method} diameter bound",
+            oracle.measured_diameter() <= oracle.diameter_bound,
+        )
+    print("selftest: negative weights")
+    gn = apply_potential_weights(g, rng)
+    oracle = ShortestPathOracle.build(gn, tree)
+    check("negative weights == johnson", np.allclose(oracle.distances([0]), johnson(gn, [0])))
+    print("selftest: planar family")
+    gd, _ = delaunay_digraph(200, rng)
+    od = ShortestPathOracle.build(gd, separator="planar")
+    check("delaunay distances == dijkstra", np.allclose(od.distances(0), dijkstra(gd, 0)))
+    print("selftest: decomposition quality")
+    print("   ", assess(tree).summary())
+    print(f"selftest: {'PASS' if failures == 0 else f'{failures} FAILURES'}")
+    return 0 if failures == 0 else 1
+
+
+def _cmd_report(args) -> int:
+    from .analysis.report import aggregate_results
+
+    text = aggregate_results(args.results)
+    if args.output:
+        import pathlib
+
+        pathlib.Path(args.output).write_text(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-spsp", description=__doc__)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p1 = sub.add_parser("fig1", help="separator tree of a grid (paper Fig. 1)")
+    p1.add_argument("--side", type=int, default=9)
+    p1.add_argument("--leaf-size", dest="leaf_size", type=int, default=4)
+    p1.add_argument("--max-depth", dest="max_depth", type=int, default=3)
+    p1.add_argument("--seed", type=int, default=0)
+    p1.set_defaults(fn=_cmd_fig1)
+
+    p2 = sub.add_parser("fig2", help="right shortcuts on a path (paper Fig. 2)")
+    p2.add_argument("--side", type=int, default=9)
+    p2.add_argument("--leaf-size", dest="leaf_size", type=int, default=4)
+    p2.add_argument("--seed", type=int, default=0)
+    p2.set_defaults(fn=_cmd_fig2)
+
+    p3 = sub.add_parser("stats", help="oracle statistics on a workload")
+    p3.add_argument("--family", choices=["grid", "delaunay"], default="grid")
+    p3.add_argument("--n", type=int, default=1024)
+    p3.add_argument("--sources", type=int, default=4)
+    p3.add_argument("--method", choices=["leaves_up", "doubling"], default="leaves_up")
+    p3.add_argument("--leaf-size", dest="leaf_size", type=int, default=8)
+    p3.add_argument("--seed", type=int, default=0)
+    p3.set_defaults(fn=_cmd_stats)
+
+    p4 = sub.add_parser("table1", help="quick Table-1 sweep (grids, or any μ with --mu)")
+    p4.add_argument("--sides", type=int, nargs="+", default=[8, 12, 16, 24, 32])
+    p4.add_argument("--mu", type=float, default=None,
+                    help="use the programmable synthetic family at this μ")
+    p4.add_argument("--sizes", type=int, nargs="+", default=[300, 600, 1200],
+                    help="vertex counts for the --mu sweep")
+    p4.add_argument("--leaf-size", dest="leaf_size", type=int, default=8)
+    p4.add_argument("--seed", type=int, default=0)
+    p4.set_defaults(fn=_cmd_table1)
+
+    p6 = sub.add_parser("selftest", help="end-to-end install verification")
+    p6.add_argument("--seed", type=int, default=0)
+    p6.set_defaults(fn=_cmd_selftest)
+
+    p5 = sub.add_parser("report", help="aggregate benchmarks/results into one document")
+    p5.add_argument("--results", default="benchmarks/results")
+    p5.add_argument("--output", default="")
+    p5.set_defaults(fn=_cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

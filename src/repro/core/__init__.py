@@ -1,0 +1,3 @@
+"""Core of the reproduction: the paper's primary contribution — separator
+trees (§2.3), the augmentation E⁺ (§3, §4), the level-scheduled query
+engine (§3.2), reachability, negative cycles, paths, and the facade."""

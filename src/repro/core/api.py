@@ -1,0 +1,290 @@
+"""High-level facade: :class:`ShortestPathOracle`.
+
+One object bundles the whole paper pipeline: separator decomposition (given
+or computed), augmentation E⁺ (Algorithm 4.1 or 4.3), the §3.2 phase
+schedule, and query methods for distances, trees, paths and reachability —
+with PRAM work/depth accounting throughout.
+
+    >>> from repro import ShortestPathOracle
+    >>> from repro.workloads.generators import grid_digraph
+    >>> import numpy as np
+    >>> g = grid_digraph((16, 16), np.random.default_rng(0))
+    >>> oracle = ShortestPathOracle.build(g, separator="auto")
+    >>> d = oracle.distances([0, 5])          # (2, 256) distance matrix
+    >>> tree = oracle.shortest_path_tree(0)   # parent array
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..pram.machine import Ledger
+from .augment import Augmentation
+from .digraph import WeightedDigraph
+from .doubling import augment_doubling
+from .leaves_up import augment_leaves_up
+from .negcycle import has_negative_cycle
+from .paths import reconstruct_path, shortest_path_tree
+from .scheduler import PhaseSchedule, build_schedule
+from .semiring import MIN_PLUS, Semiring
+from .septree import SeparatorTree, build_separator_tree
+from .sssp import measured_diameter, sssp_naive, sssp_scheduled
+
+__all__ = ["ShortestPathOracle"]
+
+
+def _resolve_tree(
+    graph: WeightedDigraph,
+    tree,
+    separator,
+    leaf_size: int,
+) -> SeparatorTree:
+    if tree is not None:
+        return tree
+    if callable(separator):
+        return build_separator_tree(graph, separator, leaf_size=leaf_size)
+    if separator in (None, "auto", "spectral"):
+        from ..separators.spectral import decompose_spectral
+
+        return decompose_spectral(graph, leaf_size=leaf_size)
+    if separator == "planar":
+        from ..separators.planar import decompose_planar
+
+        return decompose_planar(graph, leaf_size=leaf_size)
+    if separator == "treewidth":
+        from ..separators.treewidth import decompose_treewidth
+
+        return decompose_treewidth(graph, leaf_size=leaf_size)
+    if separator == "multilevel":
+        from ..separators.multilevel import decompose_multilevel
+
+        return decompose_multilevel(graph, leaf_size=leaf_size)
+    if separator == "lipton_tarjan":
+        from ..separators.lipton_tarjan import decompose_lipton_tarjan
+
+        return decompose_lipton_tarjan(graph, leaf_size=leaf_size)
+    raise ValueError(f"unknown separator spec {separator!r}")
+
+
+class ShortestPathOracle:
+    """Preprocessed multi-source shortest-path oracle for a digraph with a
+    separator decomposition (the paper's end-to-end system)."""
+
+    def __init__(
+        self,
+        graph: WeightedDigraph,
+        tree: SeparatorTree,
+        augmentation: Augmentation,
+        schedule: PhaseSchedule,
+        *,
+        preprocess_ledger: Ledger,
+    ) -> None:
+        self.graph = graph
+        self.tree = tree
+        self.augmentation = augmentation
+        self.schedule = schedule
+        self.preprocess_ledger = preprocess_ledger
+        self.query_ledger = Ledger()
+
+    # -------------------------------------------------------------- #
+
+    @classmethod
+    def build(
+        cls,
+        graph: WeightedDigraph,
+        tree: SeparatorTree | None = None,
+        *,
+        separator: str | Callable | None = "auto",
+        method: str = "leaves_up",
+        semiring: Semiring = MIN_PLUS,
+        leaf_size: int = 8,
+        executor="serial",
+        validate: bool = False,
+        keep_node_distances: bool = False,
+    ) -> "ShortestPathOracle":
+        """Run the full preprocessing pipeline.
+
+        Parameters
+        ----------
+        tree:
+            A precomputed separator decomposition (paper comment (iv): it
+            depends only on the skeleton and can be reused across weight /
+            direction changes).  When omitted, ``separator`` selects an
+            engine: ``"auto"``/``"spectral"``, ``"planar"``, ``"treewidth"``,
+            or a callable oracle.
+        method:
+            ``"leaves_up"`` (Algorithm 4.1), ``"doubling"`` (Algorithm 4.3),
+            or ``"doubling_shared"`` (Algorithm 4.3 with the Remark 4.4
+            shared pairing table).
+        """
+        if method not in ("leaves_up", "doubling", "doubling_shared"):
+            raise ValueError(
+                "method must be 'leaves_up', 'doubling' or 'doubling_shared'"
+            )
+        ledger = Ledger()
+        tree = _resolve_tree(graph, tree, separator, leaf_size)
+        if validate:
+            tree.validate(graph)
+        if method == "doubling_shared":
+            from .doubling_shared import augment_doubling_shared as build_fn
+        else:
+            build_fn = augment_leaves_up if method == "leaves_up" else augment_doubling
+        aug = build_fn(
+            graph,
+            tree,
+            semiring,
+            executor=executor,
+            ledger=ledger,
+            keep_node_distances=keep_node_distances,
+        )
+        schedule = build_schedule(aug)
+        return cls(graph, tree, aug, schedule, preprocess_ledger=ledger)
+
+    # -------------------------------------------------------------- #
+    # Queries
+    # -------------------------------------------------------------- #
+
+    @property
+    def semiring(self) -> Semiring:
+        return self.augmentation.semiring
+
+    @property
+    def diameter_bound(self) -> int:
+        """Theorem 3.1(ii) bound on diam(G⁺)."""
+        return self.augmentation.diameter_bound
+
+    def distances(self, sources, *, engine: str = "scheduled") -> np.ndarray:
+        """Distance rows for each source (``(s, n)``, or ``(n,)`` for a bare
+        int).  ``engine`` is ``"scheduled"`` (§3.2) or ``"naive"`` (A3)."""
+        if engine == "scheduled":
+            return sssp_scheduled(
+                self.augmentation, sources, schedule=self.schedule, ledger=self.query_ledger
+            )
+        if engine == "naive":
+            return sssp_naive(self.augmentation, sources, ledger=self.query_ledger)
+        raise ValueError("engine must be 'scheduled' or 'naive'")
+
+    def distance(self, u: int, v: int) -> float:
+        """Exact ``dist_G(u, v)`` (one scheduled pass from ``u``)."""
+        return float(self.distances(int(u))[v])
+
+    def distance_matrix(self, sources, targets) -> np.ndarray:
+        """``(s, t)`` distances — one scheduled pass per source, columns
+        selected (for many targets per source this beats pair queries)."""
+        targets = np.asarray(targets, dtype=np.int64)
+        return self.distances(sources)[:, targets]
+
+    def nearest_source(self, sources) -> tuple[np.ndarray, np.ndarray]:
+        """For every vertex, the closest of ``sources`` and its distance —
+        the multi-depot assignment pattern (§1's s-source workload).
+        Returns ``(assigned source id, distance)`` arrays of length n;
+        unreachable vertices get source −1 and distance +inf."""
+        srcs = np.asarray(list(sources), dtype=np.int64)
+        dist = self.distances(srcs)
+        best = np.argmin(dist, axis=0)
+        d = dist[best, np.arange(self.graph.n)]
+        assigned = srcs[best]
+        assigned = np.where(np.isfinite(d), assigned, -1)
+        return assigned, d
+
+    def validate(self, **kwargs):
+        """Run the consolidated invariant battery on this oracle's build
+        (see :func:`repro.core.validation.validate_pipeline`)."""
+        from .validation import validate_pipeline
+
+        return validate_pipeline(self.augmentation, **kwargs)
+
+    def shortest_path_tree(self, source: int) -> np.ndarray:
+        """Parent array of a shortest-path tree in the *original* graph."""
+        dist = self.distances(int(source))
+        return shortest_path_tree(self.graph, int(source), dist)
+
+    def shortest_path_forest(self, sources) -> np.ndarray:
+        """Shortest-path trees from each source, shape ``(s, n)`` of parent
+        ids — the paper's "shortest-path trees from s sources" deliverable
+        (one O(m) tight-edge pass per source on top of the batched
+        distance query)."""
+        srcs = [int(s) for s in sources]
+        dist = self.distances(srcs)
+        return np.stack(
+            [shortest_path_tree(self.graph, s, dist[i]) for i, s in enumerate(srcs)]
+        )
+
+    def with_new_weights(
+        self, weight: np.ndarray | None = None, *, graph: WeightedDigraph | None = None
+    ) -> "ShortestPathOracle":
+        """Rebuild the oracle for new weights and/or edge directions while
+        reusing the separator decomposition — paper comment (iv): "the
+        separator decomposition ... depends only on the undirected
+        unweighted skeleton of G, and hence needs to be computed only once
+        for a group of instances which differ in the weights and direction
+        on edges."
+
+        Pass ``weight`` (same edge order) for a reweighting, or ``graph``
+        for any graph sharing the skeleton (e.g. ``self.graph.reverse()``).
+        """
+        if (weight is None) == (graph is None):
+            raise ValueError("pass exactly one of weight= or graph=")
+        if graph is None:
+            graph = WeightedDigraph(self.graph.n, self.graph.src, self.graph.dst, weight)
+        if graph.n != self.tree.n:
+            raise ValueError("new graph must have the same vertex set")
+        method = self.augmentation.method
+        if method not in ("leaves_up", "doubling", "doubling_shared"):
+            method = "leaves_up"
+        return ShortestPathOracle.build(
+            graph,
+            self.tree,
+            method=method,
+            semiring=self.semiring,
+            keep_node_distances=bool(self.augmentation.node_distances),
+        )
+
+    def path(self, u: int, v: int) -> list[int] | None:
+        """An explicit minimum-weight ``u→v`` path (original edges only)."""
+        parent = self.shortest_path_tree(u)
+        return reconstruct_path(parent, int(u), int(v))
+
+    def measured_diameter(self) -> int:
+        """Empirical diam(G⁺); validation-scale only."""
+        return measured_diameter(self.augmentation)
+
+    def stats(self) -> dict:
+        """Key pipeline numbers: sizes, bounds, ledger work/depth."""
+        s = self.augmentation.stats()
+        s.update(
+            preprocess_work=self.preprocess_ledger.work,
+            preprocess_depth=self.preprocess_ledger.depth,
+            schedule_phases=self.schedule.num_phases,
+            schedule_edge_scans=self.schedule.edge_scans,
+        )
+        return s
+
+    def save(self, path) -> None:
+        """Persist graph + tree + E⁺ to one ``.npz`` (see :mod:`repro.io`);
+        reload with :meth:`load` — the schedule is recompiled on load."""
+        from ..io import save_augmentation
+
+        save_augmentation(path, self.augmentation)
+
+    @classmethod
+    def load(cls, path) -> "ShortestPathOracle":
+        """Rebuild an oracle persisted with :meth:`save`.
+
+        Per-node distance matrices are not persisted; use
+        ``with_new_weights(weight=graph.weight)`` style rebuilds when the
+        k-pair oracle is needed afterwards.
+        """
+        from ..io import load_augmentation
+
+        aug = load_augmentation(path)
+        return cls(
+            aug.graph, aug.tree, aug, build_schedule(aug), preprocess_ledger=Ledger()
+        )
+
+    def check_no_negative_cycle(self) -> bool:
+        """Independent Bellman–Ford certificate (the build already raises on
+        a negative cycle; this is the cross-check)."""
+        return not has_negative_cycle(self.graph)

@@ -1,0 +1,177 @@
+"""Path-algebra semirings.
+
+Paper comment (iii): "Our algorithm is applicable to general path algebra
+problems over semirings (see Pan and Reif)."  Every distance kernel in this
+package (Floyd–Warshall, min-plus products, Bellman–Ford relaxation, the
+augmentation algorithms) is parameterized by a :class:`Semiring` so the same
+code answers shortest paths (min-plus), reachability (boolean), widest
+bottleneck paths (max-min) and minimax paths (min-max).
+
+A semiring here is ``(S, ⊕, ⊗, 0̄, 1̄)`` where ``⊕`` aggregates alternative
+paths and ``⊗`` extends a path by an edge.  ``zero`` is the ⊕-identity
+("no path") and ``one`` the ⊗-identity ("empty path").  All operations are
+supplied as vectorized numpy callables; the dense semiring matrix product is
+implemented in :mod:`repro.kernels.minplus` on top of these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "Semiring",
+    "MIN_PLUS",
+    "BOOLEAN",
+    "MAX_MIN",
+    "MIN_MAX",
+    "COUNTING_HOPS",
+    "SEMIRINGS",
+]
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A numpy-vectorized semiring.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier.
+    zero, one:
+        The ⊕- and ⊗-identities as Python scalars.
+    dtype:
+        Numpy dtype used for distance matrices in this algebra.
+    add:
+        Elementwise ``⊕`` of two arrays.
+    add_reduce:
+        ``⊕``-reduction of an array along an axis.
+    mul:
+        Elementwise ``⊗`` of two (broadcastable) arrays.
+    improves:
+        ``improves(a, b)`` — boolean mask where ``a`` is *strictly better*
+        than ``b`` (i.e. ``a ⊕ b != b``).  Used for convergence detection.
+    idempotent:
+        Whether ``a ⊕ a = a``; all shipped semirings are idempotent, which is
+        what makes fixpoint iteration (Bellman–Ford, path doubling) converge.
+    """
+
+    name: str
+    zero: float
+    one: float
+    dtype: np.dtype
+    add: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    add_reduce: Callable[..., np.ndarray]
+    mul: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    improves: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    idempotent: bool = True
+
+    # -------------------------------------------------------------- #
+    # Convenience constructors for matrices in this algebra
+    # -------------------------------------------------------------- #
+
+    def empty_matrix(self, rows: int, cols: int) -> np.ndarray:
+        """Matrix filled with ``zero`` (no path)."""
+        return np.full((rows, cols), self.zero, dtype=self.dtype)
+
+    def identity_matrix(self, n: int) -> np.ndarray:
+        """``zero`` off-diagonal, ``one`` on the diagonal (empty paths)."""
+        a = self.empty_matrix(n, n)
+        np.fill_diagonal(a, self.one)
+        return a
+
+    def scatter_min(self, target: np.ndarray, index, values: np.ndarray) -> None:
+        """In-place ``target[index] ⊕= values`` with duplicate indices
+        aggregated (the relaxation primitive of parallel Bellman–Ford)."""
+        self._scatter(target, index, values)
+
+    @property
+    def _scatter(self):
+        # ufunc.at handles duplicate indices with repeated application,
+        # which is exactly ⊕-aggregation for idempotent, associative ⊕.
+        if self.name in ("min-plus", "min-max", "hops"):
+            return np.minimum.at
+        if self.name == "max-min":
+            return np.maximum.at
+        if self.name == "boolean":
+            return np.logical_or.at
+        raise NotImplementedError(f"no scatter for semiring {self.name}")
+
+
+def _strictly_less(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a < b
+
+
+def _strictly_greater(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a > b
+
+
+def _bool_improves(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.logical_and(a, np.logical_not(b))
+
+
+#: Shortest paths: ⊕ = min, ⊗ = +, 0̄ = +inf, 1̄ = 0.
+MIN_PLUS = Semiring(
+    name="min-plus",
+    zero=np.inf,
+    one=0.0,
+    dtype=np.dtype(np.float64),
+    add=np.minimum,
+    add_reduce=np.minimum.reduce,
+    mul=np.add,
+    improves=_strictly_less,
+)
+
+#: Reachability / transitive closure: ⊕ = or, ⊗ = and, 0̄ = False, 1̄ = True.
+BOOLEAN = Semiring(
+    name="boolean",
+    zero=False,
+    one=True,
+    dtype=np.dtype(bool),
+    add=np.logical_or,
+    add_reduce=np.logical_or.reduce,
+    mul=np.logical_and,
+    improves=_bool_improves,
+)
+
+#: Widest (bottleneck) paths: ⊕ = max, ⊗ = min, 0̄ = -inf, 1̄ = +inf.
+MAX_MIN = Semiring(
+    name="max-min",
+    zero=-np.inf,
+    one=np.inf,
+    dtype=np.dtype(np.float64),
+    add=np.maximum,
+    add_reduce=np.maximum.reduce,
+    mul=np.minimum,
+    improves=_strictly_greater,
+)
+
+#: Minimax paths (minimize the largest edge): ⊕ = min, ⊗ = max.
+MIN_MAX = Semiring(
+    name="min-max",
+    zero=np.inf,
+    one=-np.inf,
+    dtype=np.dtype(np.float64),
+    add=np.minimum,
+    add_reduce=np.minimum.reduce,
+    mul=np.maximum,
+    improves=_strictly_less,
+)
+
+#: Fewest hops (min-plus over unit weights); useful for diameter probes.
+COUNTING_HOPS = Semiring(
+    name="hops",
+    zero=np.inf,
+    one=0.0,
+    dtype=np.dtype(np.float64),
+    add=np.minimum,
+    add_reduce=np.minimum.reduce,
+    mul=np.add,
+    improves=_strictly_less,
+)
+
+SEMIRINGS: dict[str, Semiring] = {
+    s.name: s for s in (MIN_PLUS, BOOLEAN, MAX_MIN, MIN_MAX, COUNTING_HOPS)
+}

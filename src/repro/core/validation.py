@@ -1,0 +1,120 @@
+"""Consolidated pipeline validation — the paranoid user's one call.
+
+Production users of a distance oracle want a cheap way to answer "is this
+build trustworthy?" without reading the theory.  :func:`validate_pipeline`
+runs every verifiable invariant at a configurable depth and returns a
+structured report:
+
+* structural — Proposition 2.1 on the tree (always);
+* soundness — sampled E⁺ edges never underestimate distances, scheduled
+  queries from sampled sources match plain Bellman–Ford (always);
+* exhaustive — full all-pairs cross-check against Floyd–Warshall and the
+  measured diameter vs the Theorem 3.1 bound (only when ``n ≤
+  exhaustive_cutoff``; cubic cost).
+
+The CLI ``repro-spsp selftest`` composes the same checks over generated
+workloads; this function is the library-level entry point for *your* graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..kernels.bellman_ford import bellman_ford
+from .augment import Augmentation
+from .scheduler import build_schedule
+from .sssp import measured_diameter, sssp_scheduled
+
+__all__ = ["ValidationReport", "validate_pipeline"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_pipeline`."""
+
+    checks: dict[str, bool] = field(default_factory=dict)
+    details: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True iff every executed check passed."""
+        return all(self.checks.values())
+
+    def summary(self) -> str:
+        """One line per check."""
+        lines = []
+        for name, passed in self.checks.items():
+            extra = f" — {self.details[name]}" if name in self.details else ""
+            lines.append(f"[{'ok' if passed else 'FAIL'}] {name}{extra}")
+        return "\n".join(lines)
+
+
+def validate_pipeline(
+    aug: Augmentation,
+    *,
+    sample_sources: int = 4,
+    edge_sample: int = 64,
+    exhaustive_cutoff: int = 256,
+    rng: np.random.Generator | None = None,
+) -> ValidationReport:
+    """Run the invariant battery on a built augmentation (min-plus only).
+
+    Never raises on a failed check — read :attr:`ValidationReport.ok`.
+    """
+    if aug.semiring.name not in ("min-plus", "hops"):
+        raise ValueError("validate_pipeline covers min-plus augmentations")
+    rng = rng or np.random.default_rng(0)
+    report = ValidationReport()
+    g, tree = aug.graph, aug.tree
+
+    problems = tree.validate(g, strict=False)
+    report.checks["tree-structure (Prop 2.1)"] = not problems
+    if problems:
+        report.details["tree-structure (Prop 2.1)"] = problems[0]
+
+    dev = aug.verify_edges(sample_size=edge_sample, rng=rng)
+    report.checks["E+ soundness & scheduled completeness"] = dev < 1e-6
+    report.details["E+ soundness & scheduled completeness"] = f"max deviation {dev:.2e}"
+
+    schedule = build_schedule(aug)
+    scans_ok = (
+        aug.size == 0 or int(schedule.aug_edge_phase_counts.max()) <= 2
+    )
+    report.checks["schedule scans each E+ edge ≤ 2 (I10)"] = scans_ok
+    report.checks["phase count = 2l + 4d_G + 1"] = (
+        schedule.num_phases == 2 * aug.ell + 4 * tree.height + 1
+    )
+
+    srcs = np.unique(rng.integers(0, g.n, size=min(sample_sources, g.n)))
+    want = bellman_ford(g, srcs)
+    got = sssp_scheduled(aug, srcs, schedule=schedule)
+    both_inf = np.isinf(want) & np.isinf(got)
+    sampled_ok = bool((both_inf | np.isclose(got, want, atol=1e-8)).all())
+    report.checks[f"scheduled == Bellman-Ford on {srcs.size} sources"] = sampled_ok
+
+    if g.n <= exhaustive_cutoff:
+        from ..kernels.floyd_warshall import floyd_warshall
+
+        ref = floyd_warshall(g.dense_weights())
+        full = sssp_scheduled(aug, np.arange(g.n), schedule=schedule)
+        both_inf = np.isinf(ref) & np.isinf(full)
+        report.checks["exhaustive all-pairs == Floyd-Warshall"] = bool(
+            (both_inf | np.isclose(full, ref, atol=1e-8)).all()
+        )
+        # A corrupted E⁺ can even inject a negative cycle into G⁺, making
+        # the diameter measurement diverge — record that as a failure
+        # rather than raising (the no-raise contract of this function).
+        try:
+            diam = measured_diameter(aug)
+            report.checks["diam(G+) ≤ 4d_G + 2l + 1 (Thm 3.1)"] = (
+                diam <= aug.diameter_bound
+            )
+            report.details["diam(G+) ≤ 4d_G + 2l + 1 (Thm 3.1)"] = (
+                f"measured {diam}, bound {aug.diameter_bound}"
+            )
+        except Exception as exc:  # pragma: no cover - corrupted-input path
+            report.checks["diam(G+) ≤ 4d_G + 2l + 1 (Thm 3.1)"] = False
+            report.details["diam(G+) ≤ 4d_G + 2l + 1 (Thm 3.1)"] = repr(exc)
+    return report

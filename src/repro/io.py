@@ -1,0 +1,152 @@
+"""Persistence for graphs, separator trees, and augmentations.
+
+Paper comment (iv): the decomposition "needs to be computed only once for a
+group of instances which differ in the weights and direction on edges" —
+which only pays off if it can be *stored*.  Everything serializes to a
+single ``.npz`` (numpy archive): portable, compressed, no pickle of code
+objects.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from .core.augment import Augmentation, NodeDistances
+from .core.digraph import WeightedDigraph
+from .core.semiring import SEMIRINGS
+from .core.septree import SeparatorTree, SepTreeNode
+
+__all__ = [
+    "save_graph",
+    "load_graph",
+    "save_tree",
+    "load_tree",
+    "save_augmentation",
+    "load_augmentation",
+]
+
+
+def save_graph(path, g: WeightedDigraph) -> None:
+    """Write a graph to ``path`` (.npz)."""
+    np.savez_compressed(path, kind="graph", n=g.n, src=g.src, dst=g.dst, weight=g.weight)
+
+
+def load_graph(path) -> WeightedDigraph:
+    """Read a graph written by :func:`save_graph`."""
+    with np.load(path, allow_pickle=False) as z:
+        if str(z["kind"]) != "graph":
+            raise ValueError(f"{path} is not a saved graph")
+        return WeightedDigraph(int(z["n"]), z["src"], z["dst"], z["weight"])
+
+
+def save_tree(path, tree: SeparatorTree) -> None:
+    """Write a separator tree to ``path`` (.npz).
+
+    Node arrays are stored flattened with offset tables (npz holds flat
+    arrays best); parent/level/children are small int arrays.
+    """
+    verts, seps, bounds = [], [], []
+    voff, soff, boff = [0], [0], [0]
+    parents, levels, child0, child1 = [], [], [], []
+    for t in tree.nodes:
+        verts.append(t.vertices)
+        seps.append(t.separator)
+        bounds.append(t.boundary)
+        voff.append(voff[-1] + t.vertices.shape[0])
+        soff.append(soff[-1] + t.separator.shape[0])
+        boff.append(boff[-1] + t.boundary.shape[0])
+        parents.append(t.parent)
+        levels.append(t.level)
+        kids = list(t.children) + [-1, -1]
+        child0.append(kids[0])
+        child1.append(kids[1])
+    np.savez_compressed(
+        path,
+        kind="septree",
+        n=tree.n,
+        vertices=np.concatenate(verts) if verts else np.empty(0, np.int64),
+        separators=np.concatenate(seps) if seps else np.empty(0, np.int64),
+        boundaries=np.concatenate(bounds) if bounds else np.empty(0, np.int64),
+        voff=np.array(voff), soff=np.array(soff), boff=np.array(boff),
+        parents=np.array(parents), levels=np.array(levels),
+        child0=np.array(child0), child1=np.array(child1),
+    )
+
+
+def load_tree(path) -> SeparatorTree:
+    """Read a separator tree written by :func:`save_tree`."""
+    with np.load(path, allow_pickle=False) as z:
+        if str(z["kind"]) != "septree":
+            raise ValueError(f"{path} is not a saved separator tree")
+        count = z["parents"].shape[0]
+        nodes = []
+        for i in range(count):
+            kids = tuple(
+                int(c) for c in (z["child0"][i], z["child1"][i]) if c >= 0
+            )
+            nodes.append(
+                SepTreeNode(
+                    idx=i,
+                    level=int(z["levels"][i]),
+                    parent=int(z["parents"][i]),
+                    vertices=z["vertices"][z["voff"][i] : z["voff"][i + 1]],
+                    separator=z["separators"][z["soff"][i] : z["soff"][i + 1]],
+                    boundary=z["boundaries"][z["boff"][i] : z["boff"][i + 1]],
+                    children=kids,
+                )
+            )
+        return SeparatorTree(nodes, int(z["n"]))
+
+
+def save_augmentation(path, aug: Augmentation) -> None:
+    """Write an augmentation's edge set (not the per-node matrices) plus the
+    owning graph and tree — enough to rebuild schedules and query."""
+    tree = aug.tree
+    payload = dict(
+        kind="augmentation",
+        method=aug.method,
+        semiring=aug.semiring.name,
+        aug_src=aug.src, aug_dst=aug.dst, aug_weight=aug.weight,
+        leaf_idx=np.array(sorted(aug.leaf_diameters)),
+        leaf_diam=np.array([aug.leaf_diameters[k] for k in sorted(aug.leaf_diameters)]),
+        g_n=aug.graph.n, g_src=aug.graph.src, g_dst=aug.graph.dst,
+        g_weight=aug.graph.weight,
+    )
+    import io as _io
+
+    buf = _io.BytesIO()
+    save_tree(buf, tree)
+    payload["tree_blob"] = np.frombuffer(buf.getvalue(), dtype=np.uint8)
+    np.savez_compressed(path, **payload)
+
+
+def load_augmentation(path) -> Augmentation:
+    """Read an augmentation written by :func:`save_augmentation`.
+
+    Per-node distance matrices are not persisted (rebuild with
+    ``keep_node_distances=True`` when the k-pair oracle is needed).
+    """
+    import io as _io
+
+    with np.load(path, allow_pickle=False) as z:
+        if str(z["kind"]) != "augmentation":
+            raise ValueError(f"{path} is not a saved augmentation")
+        graph = WeightedDigraph(int(z["g_n"]), z["g_src"], z["g_dst"], z["g_weight"])
+        tree = load_tree(_io.BytesIO(z["tree_blob"].tobytes()))
+        semiring = SEMIRINGS[str(z["semiring"])]
+        leaf_diameters = {
+            int(k): int(d) for k, d in zip(z["leaf_idx"], z["leaf_diam"])
+        }
+        return Augmentation(
+            graph=graph,
+            tree=tree,
+            semiring=semiring,
+            src=z["aug_src"],
+            dst=z["aug_dst"],
+            weight=z["aug_weight"].astype(semiring.dtype),
+            leaf_diameters=leaf_diameters,
+            node_distances={},
+            method=str(z["method"]),
+        )

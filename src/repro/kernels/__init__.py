@@ -1,0 +1,2 @@
+"""Dense and edge-relaxation kernels: semiring matrix products,
+Floyd–Warshall, boolean closure, Bellman–Ford, Dijkstra/Johnson baselines."""

@@ -1,0 +1,180 @@
+"""Parallel (Jacobi-style) Bellman–Ford relaxation.
+
+Paper §2.2: on a graph with minimum-weight diameter ``diam(G)``, single
+source shortest paths take O(diam·log n) PRAM time and O(m·diam) work by
+running ``diam`` synchronous phases, each scanning every edge.  This module
+implements that phase engine in vectorized form:
+
+* one phase = extend all edges from current distances and ⊕-reduce
+  per head vertex (``reduceat`` over a dst-sorted edge permutation);
+* all sources are relaxed simultaneously as rows of an ``(s, n)`` matrix,
+  which is exactly the PRAM's per-source independence.
+
+The *scheduled* variant of §3.2 — which scans different edge subsets in
+different phases — reuses :class:`EdgeRelaxer` with one relaxer per phase
+group (see :mod:`repro.core.scheduler`).
+
+A phase charges ``work = s·(edges scanned)`` and ``depth = ⌈log₂ n⌉`` to the
+ledger (the ⊕-reduction tree per head vertex).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.digraph import WeightedDigraph
+from ..core.semiring import MIN_PLUS, Semiring
+from ..pram.machine import NULL_LEDGER, Ledger, log2ceil, reduce_depth
+
+__all__ = [
+    "EdgeRelaxer",
+    "bellman_ford",
+    "initial_distances",
+    "phases_to_convergence",
+    "min_weight_diameter",
+    "NegativeCycleError",
+]
+
+
+class NegativeCycleError(ValueError):
+    """Raised when a relaxation is asked to certify distances but a negative
+    cycle is reachable from some source."""
+
+
+class EdgeRelaxer:
+    """Relaxation engine for a fixed edge set, grouped by head vertex.
+
+    The dst-sorted permutation and the ``reduceat`` segment boundaries are
+    precomputed once so each phase is two gathers, one ⊗, one segmented ⊕
+    and one ⊕-assignment — no Python-level per-edge work.
+    """
+
+    __slots__ = ("semiring", "m", "_src", "_w", "_starts", "_targets")
+
+    def __init__(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        weight: np.ndarray,
+        semiring: Semiring = MIN_PLUS,
+    ) -> None:
+        self.semiring = semiring
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        weight = np.asarray(weight, dtype=semiring.dtype)
+        self.m = int(src.shape[0])
+        order = np.argsort(dst, kind="stable")
+        self._src = src[order]
+        self._w = weight[order]
+        dst_sorted = dst[order]
+        if self.m:
+            new_group = np.ones(self.m, dtype=bool)
+            new_group[1:] = dst_sorted[1:] != dst_sorted[:-1]
+            self._starts = np.nonzero(new_group)[0]
+            self._targets = dst_sorted[self._starts]
+        else:
+            self._starts = np.empty(0, dtype=np.int64)
+            self._targets = np.empty(0, dtype=np.int64)
+
+    @classmethod
+    def from_graph(cls, g: WeightedDigraph, semiring: Semiring = MIN_PLUS) -> "EdgeRelaxer":
+        return cls(g.src, g.dst, g.weight, semiring)
+
+    def relax(self, dist: np.ndarray, *, ledger: Ledger = NULL_LEDGER) -> bool:
+        """One synchronous phase over ``dist`` of shape ``(..., n)``, in
+        place.  Returns whether any entry strictly improved."""
+        if not self.m:
+            return False
+        sr = self.semiring
+        cand = sr.mul(dist[..., self._src], self._w)
+        grouped = sr.add.reduceat(cand, self._starts, axis=-1)
+        cur = dist[..., self._targets]
+        changed = bool(sr.improves(grouped, cur).any())
+        if changed:
+            dist[..., self._targets] = sr.add(cur, grouped)
+        rows = int(np.prod(dist.shape[:-1], dtype=np.int64)) if dist.ndim > 1 else 1
+        ledger.charge(
+            work=float(rows) * self.m,
+            depth=reduce_depth(dist.shape[-1]),
+            label="bf-phase",
+        )
+        return changed
+
+
+def initial_distances(
+    n: int, sources: np.ndarray | list[int], semiring: Semiring = MIN_PLUS
+) -> np.ndarray:
+    """``(s, n)`` matrix with 1̄ at each source column, 0̄ elsewhere."""
+    sources = np.asarray(sources, dtype=np.int64)
+    dist = np.full((sources.shape[0], n), semiring.zero, dtype=semiring.dtype)
+    dist[np.arange(sources.shape[0]), sources] = semiring.one
+    return dist
+
+
+def bellman_ford(
+    g: WeightedDigraph,
+    sources: np.ndarray | list[int] | int,
+    *,
+    semiring: Semiring = MIN_PLUS,
+    max_phases: int | None = None,
+    check_negative_cycle: bool = False,
+    ledger: Ledger = NULL_LEDGER,
+) -> np.ndarray:
+    """Distances from each source, shape ``(s, n)`` (or ``(n,)`` for a single
+    int source).
+
+    Runs until a fixpoint or ``max_phases``.  With ``max_phases=None`` the
+    phase count is capped at ``n`` (fixpoint is reached within ``n-1`` phases
+    unless a negative cycle is reachable; the extra phase is the standard
+    detection margin when ``check_negative_cycle`` is set).
+    """
+    single = isinstance(sources, (int, np.integer))
+    srcs = [int(sources)] if single else list(sources)
+    dist = initial_distances(g.n, srcs, semiring)
+    relaxer = EdgeRelaxer.from_graph(g, semiring)
+    cap = g.n if max_phases is None else max_phases
+    changed = True
+    phase = 0
+    while changed and phase < cap:
+        changed = relaxer.relax(dist, ledger=ledger)
+        phase += 1
+    if check_negative_cycle and changed and relaxer.relax(dist.copy()):
+        raise NegativeCycleError("negative-weight cycle reachable from a source")
+    return dist[0] if single else dist
+
+
+def phases_to_convergence(
+    g: WeightedDigraph,
+    dist: np.ndarray,
+    *,
+    semiring: Semiring = MIN_PLUS,
+    cap: int | None = None,
+    ledger: Ledger = NULL_LEDGER,
+) -> int:
+    """Number of full-scan phases until ``dist`` (modified in place) stops
+    improving.  ``cap`` guards against negative cycles (default ``n + 1``).
+
+    With ``dist = initial_distances(n, range(n))`` this measures the
+    *minimum-weight diameter* of §2.2: the Jacobi iteration after ``h``
+    phases holds exactly the best weight over ≤h-edge paths, so the first
+    all-pairs fixpoint phase count equals ``diam(G)``.
+    """
+    relaxer = EdgeRelaxer.from_graph(g, semiring)
+    cap = g.n + 1 if cap is None else cap
+    phases = 0
+    while phases < cap and relaxer.relax(dist, ledger=ledger):
+        phases += 1
+    if phases >= cap:
+        raise NegativeCycleError("no fixpoint within cap (negative cycle?)")
+    return phases
+
+
+def min_weight_diameter(g: WeightedDigraph, *, semiring: Semiring = MIN_PLUS) -> int:
+    """Empirical minimum-weight diameter diam(G) of §2.2 (max over all
+    ordered pairs of the fewest edges among optimal paths).
+
+    O(n·m·diam) work — intended for validation at test/bench scale, not as a
+    production primitive.
+    """
+    dist = initial_distances(g.n, np.arange(g.n), semiring)
+    return phases_to_convergence(g, dist, semiring=semiring)

@@ -1,0 +1,55 @@
+"""Boolean matrix kernels for the reachability specialization.
+
+Paper §4–§5: for reachability / transitive closure, the semiring products in
+Algorithms 4.1/4.3 become boolean matrix multiplications, so preprocessing
+work drops to Õ(M(n^μ)) where ``M(r) = O(r^ω)`` is the matrix-multiplication
+work bound.  We substitute numpy's uint8 GEMM (ω = 3 on the host) and charge
+the ledger ``r^ω`` with a configurable exponent so Table-1 reachability rows
+can be reported for any ω (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..pram.machine import NULL_LEDGER, Ledger, reduce_depth
+
+__all__ = ["bool_matmul", "bool_closure", "set_charged_omega", "charged_omega"]
+
+_OMEGA = 3.0
+
+
+def set_charged_omega(omega: float) -> None:
+    """Set the exponent ω used when charging M(r) = r^ω to ledgers."""
+    global _OMEGA
+    if not 2.0 <= omega <= 3.0:
+        raise ValueError("omega must be in [2, 3]")
+    _OMEGA = float(omega)
+
+
+def charged_omega() -> float:
+    """Current ω used for M(r) ledger charges."""
+    return _OMEGA
+
+
+def bool_matmul(a: np.ndarray, b: np.ndarray, *, ledger: Ledger = NULL_LEDGER) -> np.ndarray:
+    """Boolean matrix product ``C[i,j] = ∨_k A[i,k] ∧ B[k,j]``."""
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"incompatible shapes {a.shape} x {b.shape}")
+    out = (a.astype(np.uint8) @ b.astype(np.uint8)) > 0
+    r = max(a.shape[0], a.shape[1], b.shape[1])
+    ledger.charge(work=float(r) ** _OMEGA, depth=reduce_depth(r), label="bool-matmul")
+    return out
+
+
+def bool_closure(a: np.ndarray, *, ledger: Ledger = NULL_LEDGER) -> np.ndarray:
+    """Reflexive-transitive closure by repeated squaring (⌈log₂ n⌉ rounds)."""
+    n = a.shape[0]
+    c = a.astype(bool).copy()
+    np.fill_diagonal(c, True)
+    for _ in range(max(1, int(np.ceil(np.log2(max(2, n)))))):
+        nxt = bool_matmul(c, c, ledger=ledger)
+        if np.array_equal(nxt, c):
+            break
+        c = nxt
+    return c

@@ -1,0 +1,123 @@
+"""Floyd–Warshall all-pairs shortest paths over an arbitrary semiring.
+
+Used (a) for the separator-clique APSP in step (ii) of Algorithm 4.1, (b) on
+O(1)-size leaf subgraphs, and (c) as a brute-force baseline/oracle in tests
+and benchmarks.  The paper notes step (ii) can run in O(log²n) parallel time
+with O(|S|³) work (Han–Pan–Reif); the ledger is charged with exactly those
+model quantities while the host executes the vectorized cubic loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.semiring import MIN_PLUS, Semiring
+from ..pram.machine import NULL_LEDGER, Ledger, log2ceil
+
+__all__ = ["floyd_warshall", "floyd_warshall_with_hops", "min_weight_diameter_dense", "floyd_warshall_with_parents"]
+
+
+def floyd_warshall(
+    w: np.ndarray,
+    semiring: Semiring = MIN_PLUS,
+    *,
+    ledger: Ledger = NULL_LEDGER,
+    copy: bool = True,
+) -> np.ndarray:
+    """APSP matrix for the one-hop matrix ``w`` (1̄ is forced on the diagonal
+    only through paths; callers wanting reflexive closure should pre-⊕ the
+    identity, which :func:`repro.core.digraph.WeightedDigraph.dense_weights`
+    already does for min-plus).
+
+    With a min-plus negative cycle, diagonal entries come out strictly below
+    1̄ for the vertices on the cycle — callers detect that, this kernel does
+    not raise.
+    """
+    if semiring.name == "boolean":
+        # Reachability specialization (paper §5): use the M(r) kernel —
+        # repeated boolean squaring — instead of the cubic FW recurrence.
+        from .boolmat import bool_closure
+
+        d = bool_closure(np.asarray(w, dtype=bool), ledger=ledger)
+        if not copy:
+            w[...] = d
+            return w
+        return d
+    d = np.array(w, dtype=semiring.dtype, copy=True) if copy else w
+    n = d.shape[0]
+    for k in range(n):
+        # d[i,j] ⊕= d[i,k] ⊗ d[k,j], fully vectorized over (i, j).
+        semiring.add(d, semiring.mul(d[:, k][:, None], d[k, :][None, :]), out=d)
+    ledger.charge(work=float(n) ** 3, depth=log2ceil(n) ** 2, label="apsp")
+    return d
+
+
+def floyd_warshall_with_hops(w: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Min-plus APSP plus the *minimum hop count among optimal paths* —
+    ``hops[i, j] = min{|p| : w(p) = dist(i, j)}``.
+
+    The maximum finite entry of ``hops`` is the §2.2 minimum-weight
+    diameter; computing it here (three extra vectorized ops per pivot)
+    replaces a per-graph Bellman–Ford fixpoint loop on the hot leaf path.
+    """
+    d = np.array(w, dtype=np.float64, copy=True)
+    n = d.shape[0]
+    hops = np.where(np.isfinite(d), 1, np.inf)
+    np.fill_diagonal(hops, 0)
+    hops[d == np.inf] = np.inf
+    for k in range(n):
+        cand = d[:, k][:, None] + d[k, :][None, :]
+        cand_h = hops[:, k][:, None] + hops[k, :][None, :]
+        better = cand < d
+        tie = cand == d
+        d[better] = cand[better]
+        hops[better] = cand_h[better]
+        np.minimum(hops, np.where(tie, cand_h, np.inf), out=hops)
+    return d, hops
+
+
+def min_weight_diameter_dense(w: np.ndarray) -> int:
+    """Minimum-weight diameter of a dense one-hop matrix (finite pairs)."""
+    _, hops = floyd_warshall_with_hops(w)
+    finite = np.isfinite(hops)
+    return int(hops[finite].max(initial=0.0))
+
+
+def floyd_warshall_with_parents(
+    w: np.ndarray,
+    semiring: Semiring = MIN_PLUS,
+) -> tuple[np.ndarray, np.ndarray]:
+    """APSP plus a via-vertex matrix for path reconstruction.
+
+    ``via[i, j]`` is an intermediate vertex strictly inside some optimal
+    ``i→j`` path, or ``-1`` when the direct edge (or no path) is optimal.
+    Expanding recursively on ``via`` yields an explicit optimal path.
+    """
+    d = np.array(w, dtype=semiring.dtype, copy=True)
+    n = d.shape[0]
+    via = np.full((n, n), -1, dtype=np.int64)
+    for k in range(n):
+        cand = semiring.mul(d[:, k][:, None], d[k, :][None, :])
+        better = semiring.improves(cand, d)
+        via[better] = k
+        semiring.add(d, cand, out=d)
+    return d, via
+
+
+def expand_via_path(via: np.ndarray, i: int, j: int) -> list[int]:
+    """Expand a ``via`` matrix into the full vertex sequence ``i..j``
+    (endpoints included).  Assumes a path exists and no negative cycle."""
+    if i == j:
+        return [i]
+
+    def rec(a: int, b: int, out: list[int]) -> None:
+        k = via[a, b]
+        if k < 0:
+            out.append(b)
+        else:
+            rec(a, int(k), out)
+            rec(int(k), b, out)
+
+    path = [i]
+    rec(i, j, path)
+    return path

@@ -1,0 +1,149 @@
+"""Dense semiring matrix products (min-plus "distance product" and friends).
+
+These are the inner kernels of the augmentation algorithms (paper §4): step
+(iv) of Algorithm 4.1 is a 3-hop product, and step ii(1) of Algorithm 4.3 is
+a path-doubling (squaring) step.  The paper plugs in Han–Pan–Reif parallel
+APSP for O(|S|³) work; we substitute a numpy-vectorized cubic kernel, which
+has the same work exponent (DESIGN.md §5), and charge the PRAM ledger with
+the model quantities: ``work = l·k·m`` scalar ⊕/⊗ operations and
+``depth = ⌈log₂ k⌉`` for the reduction tree.
+
+The broadcast product materializes an ``(l, k, m)`` intermediate, so rows are
+processed in blocks sized to a memory budget (guides: bound temporaries,
+prefer in-place updates).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.semiring import MIN_PLUS, Semiring
+from ..pram.machine import NULL_LEDGER, Ledger, log2ceil, reduce_depth
+
+__all__ = ["semiring_matmul", "semiring_square", "semiring_closure", "hop_limited_product"]
+
+#: Default cap on the broadcast temporary, in float64 elements (~64 MiB).
+_DEFAULT_BUDGET = 8 * 1024 * 1024
+
+
+def _row_block(k: int, m: int, budget: int) -> int:
+    denom = max(1, k * m)
+    return max(1, budget // denom)
+
+
+def semiring_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    semiring: Semiring = MIN_PLUS,
+    *,
+    out: np.ndarray | None = None,
+    accumulate: bool = False,
+    ledger: Ledger = NULL_LEDGER,
+    budget: int = _DEFAULT_BUDGET,
+) -> np.ndarray:
+    """``C = A ⊗ B`` in the given semiring: ``C[i,j] = ⊕_k A[i,k] ⊗ B[k,j]``.
+
+    Parameters
+    ----------
+    out:
+        Optional output array; with ``accumulate=True`` the product is
+        ⊕-combined into ``out`` instead of overwriting it (the idiom for
+        ``W ← W ⊕ (W ⊗ W)`` doubling steps).
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError(f"incompatible shapes {a.shape} x {b.shape}")
+    l, k = a.shape
+    m = b.shape[1]
+    if out is None:
+        out = semiring.empty_matrix(l, m)
+        accumulate = True  # combining into all-zero is plain assignment
+
+    if semiring.name == "boolean":
+        # Specialized fast path: uint8 GEMM then threshold.
+        prod = (a.astype(np.uint8) @ b.astype(np.uint8)) > 0
+        if accumulate:
+            np.logical_or(out, prod, out=out)
+        else:
+            out[...] = prod
+    else:
+        block = _row_block(k, m, budget)
+        for start in range(0, l, block):
+            stop = min(l, start + block)
+            # (rows, k, m) broadcast of A-row against all of B, then ⊕-reduce
+            # over the middle (path-concatenation) axis.
+            ext = semiring.mul(a[start:stop, :, None], b[None, :, :])
+            red = semiring.add_reduce(ext, axis=1)
+            if accumulate:
+                semiring.add(out[start:stop], red, out=out[start:stop])
+            else:
+                out[start:stop] = red
+    ledger.charge(work=float(l) * k * m, depth=reduce_depth(k), label="semiring-matmul")
+    return out
+
+
+def semiring_square(
+    w: np.ndarray,
+    semiring: Semiring = MIN_PLUS,
+    *,
+    ledger: Ledger = NULL_LEDGER,
+    budget: int = _DEFAULT_BUDGET,
+) -> np.ndarray:
+    """One path-doubling step ``W ← W ⊕ (W ⊗ W)``, in place, returning ``W``.
+
+    If ``W`` holds best weights over paths of ≤h hops (with 1̄ diagonal), the
+    result holds best weights over ≤2h hops.
+    """
+    prod = semiring_matmul(w, w, semiring, ledger=ledger, budget=budget)
+    semiring.add(w, prod, out=w)
+    return w
+
+
+def semiring_closure(
+    w: np.ndarray,
+    semiring: Semiring = MIN_PLUS,
+    *,
+    ledger: Ledger = NULL_LEDGER,
+    budget: int = _DEFAULT_BUDGET,
+) -> np.ndarray:
+    """Reflexive-transitive closure by repeated squaring: ⌈log₂ n⌉ doublings
+    of the one-hop matrix (diagonal forced to 1̄).  Returns a new matrix.
+
+    For min-plus with a negative cycle the closure is not well defined; the
+    caller should check for a ⊕-improving diagonal afterwards
+    (:func:`repro.core.negcycle.diagonal_witnesses`).
+    """
+    n = w.shape[0]
+    c = np.array(w, dtype=semiring.dtype, copy=True)
+    diag = np.einsum("ii->i", c)
+    semiring.add(diag, np.full(n, semiring.one, dtype=semiring.dtype), out=diag)
+    steps = max(1, int(np.ceil(np.log2(max(2, n)))))
+    for _ in range(steps):
+        semiring_square(c, semiring, ledger=ledger, budget=budget)
+    return c
+
+
+def hop_limited_product(
+    w: np.ndarray,
+    hops: int,
+    semiring: Semiring = MIN_PLUS,
+    *,
+    ledger: Ledger = NULL_LEDGER,
+    budget: int = _DEFAULT_BUDGET,
+) -> np.ndarray:
+    """Best weights over paths of at most ``hops`` edges.
+
+    ``w`` is the one-hop matrix; its diagonal is ⊕-combined with 1̄ first so
+    shorter paths are included.  This is step (iv) of Algorithm 4.1 with
+    ``hops = 3`` (the "3-limited shortest-paths computation").
+    """
+    if hops < 1:
+        raise ValueError("hops must be >= 1")
+    base = np.array(w, dtype=semiring.dtype, copy=True)
+    diag = np.einsum("ii->i", base)
+    semiring.add(diag, np.full(base.shape[0], semiring.one, dtype=semiring.dtype), out=diag)
+    acc = base
+    for _ in range(hops - 1):
+        acc = semiring_matmul(acc, base, semiring, ledger=ledger, budget=budget)
+    return acc

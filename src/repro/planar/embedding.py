@@ -1,0 +1,70 @@
+"""Combinatorial planar embeddings and face enumeration (§6 substrate).
+
+Thin layer over networkx's left-right planarity test: we need (a) a
+certificate embedding, (b) the face set, and (c) the number of faces needed
+to cover all vertices — the ``q`` of the paper's q-face bounds.  Finding the
+minimum ``q`` is NP-complete (Frederickson); like his approximation we settle
+for a greedy cover, whose size upper-bounds the true ``q``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.digraph import WeightedDigraph
+
+__all__ = [
+    "planar_embedding",
+    "enumerate_faces",
+    "greedy_face_cover",
+    "NotPlanarError",
+]
+
+
+class NotPlanarError(ValueError):
+    """The graph skeleton admits no planar embedding."""
+
+
+def planar_embedding(g: WeightedDigraph):
+    """networkx PlanarEmbedding of the undirected skeleton, or raise."""
+    import networkx as nx
+
+    und = nx.Graph()
+    und.add_nodes_from(range(g.n))
+    und.add_edges_from(zip(g.src.tolist(), g.dst.tolist()))
+    ok, emb = nx.check_planarity(und)
+    if not ok:
+        raise NotPlanarError("graph skeleton is not planar")
+    return emb
+
+
+def enumerate_faces(embedding) -> list[list[int]]:
+    """All faces of the embedding, each as the vertex cycle of its boundary
+    traversal.  Every half-edge belongs to exactly one face."""
+    seen: set[tuple[int, int]] = set()
+    faces: list[list[int]] = []
+    for u, v in embedding.edges():
+        if (u, v) in seen:
+            continue
+        face_halfedges = embedding.traverse_face(u, v, mark_half_edges=seen)
+        faces.append(list(face_halfedges))
+    return faces
+
+
+def greedy_face_cover(faces: list[list[int]], n: int) -> list[int]:
+    """Indices of a greedy set of faces covering every non-isolated vertex —
+    an upper bound on the paper's ``q``."""
+    on_some_face = np.zeros(n, dtype=bool)
+    for f in faces:
+        on_some_face[list(set(f))] = True
+    uncovered = on_some_face.copy()
+    chosen: list[int] = []
+    face_sets = [np.unique(np.array(f, dtype=np.int64)) for f in faces]
+    while uncovered.any():
+        gains = [int(uncovered[fs].sum()) for fs in face_sets]
+        best = int(np.argmax(gains))
+        if gains[best] == 0:  # pragma: no cover - defensive
+            break
+        chosen.append(best)
+        uncovered[face_sets[best]] = False
+    return chosen

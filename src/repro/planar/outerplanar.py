@@ -1,0 +1,90 @@
+"""Outerplanar graphs: recognition, generation, and shortest paths.
+
+Frederickson's hammocks are outerplanar; the paper's §6 pipeline needs
+within-hammock all-pairs/attachment distances.  Outerplanar graphs have
+treewidth ≤ 2, so the paper's own machinery with a k⁰-separator
+decomposition (μ = 0 row of Table 1) computes those distances in
+Õ(k) work — that is the substitution for Frederickson's linear-time compact
+routing tables (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.digraph import WeightedDigraph
+from ..core.septree import SeparatorTree
+from ..separators.treewidth import decompose_treewidth
+
+__all__ = [
+    "is_outerplanar",
+    "random_outerplanar_digraph",
+    "outerplanar_tree",
+    "outerplanar_sssp",
+]
+
+
+def is_outerplanar(g: WeightedDigraph) -> bool:
+    """Classic apex test: G is outerplanar iff G plus a vertex adjacent to
+    everything is planar."""
+    import networkx as nx
+
+    und = nx.Graph()
+    und.add_nodes_from(range(g.n))
+    und.add_edges_from(zip(g.src.tolist(), g.dst.tolist()))
+    apex = g.n
+    und.add_edges_from((apex, v) for v in range(g.n))
+    ok, _ = nx.check_planarity(und)
+    return bool(ok)
+
+
+def random_outerplanar_digraph(
+    k: int,
+    rng: np.random.Generator,
+    *,
+    chord_fraction: float = 0.5,
+    weight_range: tuple[float, float] = (1.0, 10.0),
+) -> WeightedDigraph:
+    """Random maximal-ish outerplanar digraph on the cycle ``0..k-1``:
+    the outer cycle plus random non-crossing chords (drawn by recursive
+    interval splitting), both edge orientations weighted independently."""
+    if k < 2:
+        return WeightedDigraph(k, [], [], [])
+    und: list[tuple[int, int]] = [(i, (i + 1) % k) for i in range(k)]
+    # Non-crossing chords: split intervals recursively.
+    stack = [(0, k - 1)]
+    while stack:
+        lo, hi = stack.pop()
+        if hi - lo < 2:
+            continue
+        if rng.uniform() > chord_fraction:
+            continue
+        mid = int(rng.integers(lo + 1, hi))
+        if (lo, mid) not in und and mid - lo >= 2:
+            und.append((lo, mid))
+        if (mid, hi) not in und and hi - mid >= 2:
+            und.append((mid, hi))
+        stack.append((lo, mid))
+        stack.append((mid, hi))
+    arr = np.array(und, dtype=np.int64)
+    src = np.concatenate([arr[:, 0], arr[:, 1]])
+    dst = np.concatenate([arr[:, 1], arr[:, 0]])
+    w = rng.uniform(*weight_range, size=src.shape[0])
+    return WeightedDigraph(k, src, dst, w)
+
+
+def outerplanar_tree(g: WeightedDigraph, *, leaf_size: int = 8) -> SeparatorTree:
+    """Separator decomposition of an outerplanar graph (treewidth ≤ 2 ⇒
+    O(1)-size separators, μ = 0)."""
+    return decompose_treewidth(g, leaf_size=leaf_size)
+
+
+def outerplanar_sssp(g: WeightedDigraph, sources, *, tree: SeparatorTree | None = None) -> np.ndarray:
+    """Multi-source distances in an outerplanar digraph via the μ = 0
+    pipeline."""
+    from ..core.leaves_up import augment_leaves_up
+    from ..core.sssp import sssp_scheduled
+
+    tree = tree or outerplanar_tree(g)
+    aug = augment_leaves_up(g, tree, keep_node_distances=False)
+    return sssp_scheduled(aug, sources)

@@ -1,0 +1,2 @@
+"""EREW-PRAM cost model (work/depth ledger), classic PRAM primitives,
+Brent-speedup simulation, and real execution backends."""

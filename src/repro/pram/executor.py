@@ -1,0 +1,94 @@
+"""Execution backends for per-node independent work.
+
+The paper's algorithms expose two sources of parallelism that survive on real
+hardware: all tree nodes of a level are independent in Algorithm 4.1, and all
+nodes are independent within one doubling round of Algorithm 4.3.  These
+backends let the same orchestration code run serially, on a thread pool
+(numpy kernels release the GIL inside BLAS/ufunc loops), or on a process
+pool (true parallelism at the cost of pickling the payloads).
+
+Workers must be module-level functions taking one picklable payload when the
+process backend is used; the thread/serial backends accept anything.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+__all__ = [
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "get_executor",
+]
+
+
+class SerialExecutor:
+    """Run tasks in the calling thread (the default)."""
+
+    name = "serial"
+    workers = 1
+
+    def map(self, fn: Callable[[Any], Any], payloads: Sequence[Any]) -> list[Any]:
+        """Apply ``fn`` to each payload, preserving order."""
+        return [fn(p) for p in payloads]
+
+    def close(self) -> None:
+        """No resources to release."""
+
+
+class ThreadExecutor:
+    """Thread-pool backend; effective when the work is numpy-heavy."""
+
+    name = "thread"
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = workers or min(8, os.cpu_count() or 1)
+        self._pool = ThreadPoolExecutor(max_workers=self.workers)
+
+    def map(self, fn: Callable[[Any], Any], payloads: Sequence[Any]) -> list[Any]:
+        """Apply ``fn`` on the thread pool, preserving order."""
+        return list(self._pool.map(fn, payloads))
+
+    def close(self) -> None:
+        """Shut the pool down, waiting for in-flight tasks."""
+        self._pool.shutdown(wait=True)
+
+
+class ProcessExecutor:
+    """Process-pool backend; requires module-level worker functions and
+    picklable payloads."""
+
+    name = "process"
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = workers or min(8, os.cpu_count() or 1)
+        self._pool = ProcessPoolExecutor(max_workers=self.workers)
+
+    def map(self, fn: Callable[[Any], Any], payloads: Sequence[Any]) -> list[Any]:
+        """Apply ``fn`` on the process pool, preserving order."""
+        return list(self._pool.map(fn, payloads))
+
+    def close(self) -> None:
+        """Shut the pool down, waiting for in-flight tasks."""
+        self._pool.shutdown(wait=True)
+
+
+def get_executor(spec) -> SerialExecutor | ThreadExecutor | ProcessExecutor:
+    """Resolve ``"serial" | "thread" | "process"`` (optionally ``"thread:4"``)
+    or pass an executor instance through."""
+    if spec is None:
+        return SerialExecutor()
+    if not isinstance(spec, str):
+        return spec
+    name, _, count = spec.partition(":")
+    workers = int(count) if count else None
+    if name == "serial":
+        return SerialExecutor()
+    if name == "thread":
+        return ThreadExecutor(workers)
+    if name == "process":
+        return ProcessExecutor(workers)
+    raise ValueError(f"unknown executor spec {spec!r}")

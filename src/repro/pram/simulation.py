@@ -1,0 +1,60 @@
+"""Brent-scheduling simulator: from a ledger to finite-processor time.
+
+The ledger records (work W, depth D) — the PRAM's two extremes (P = 1 and
+P = ∞).  Brent's theorem bounds the P-processor time by
+``T_P ≤ W/P + D``; this module evaluates that curve so benchmarks can show
+where the paper's algorithms saturate for a given machine size, and the
+parallelism profile ``W/D`` that governs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .machine import Ledger
+
+__all__ = ["SpeedupCurve", "brent_curve"]
+
+
+@dataclass(frozen=True)
+class SpeedupCurve:
+    processors: np.ndarray
+    time: np.ndarray  # Brent bound T_P = W/P + D
+    speedup: np.ndarray  # T_1 / T_P
+    work: float
+    depth: float
+
+    @property
+    def parallelism(self) -> float:
+        """W/D — the asymptote of the speedup curve."""
+        return self.work / self.depth if self.depth else float("inf")
+
+    def saturation_processors(self, fraction: float = 0.5) -> int:
+        """Smallest P whose Brent speedup reaches ``fraction`` of the
+        asymptotic parallelism."""
+        target = fraction * self.parallelism
+        idx = np.nonzero(self.speedup >= target)[0]
+        return int(self.processors[idx[0]]) if idx.size else int(self.processors[-1])
+
+
+def brent_curve(ledger: Ledger, processors=None) -> SpeedupCurve:
+    """Evaluate the Brent bound for a ledger's (work, depth) totals."""
+    if ledger.work <= 0:
+        raise ValueError("ledger has no recorded work")
+    if processors is None:
+        max_p = max(2, int(2 * ledger.work / max(ledger.depth, 1.0)))
+        processors = np.unique(
+            np.logspace(0, np.log10(max_p), num=32).astype(np.int64)
+        )
+    processors = np.asarray(processors, dtype=np.int64)
+    time = ledger.work / processors + ledger.depth
+    t1 = ledger.work + ledger.depth
+    return SpeedupCurve(
+        processors=processors,
+        time=time,
+        speedup=t1 / time,
+        work=ledger.work,
+        depth=ledger.depth,
+    )

@@ -1,0 +1,2 @@
+"""Separator oracles and decomposition builders for every family the paper
+names: grids, planar, spectral, multilevel, treewidth, geometric."""

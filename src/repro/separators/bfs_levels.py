@@ -1,0 +1,59 @@
+"""BFS level structures on the undirected skeleton — shared by the planar
+separator engines (Lipton–Tarjan's first phase is a BFS level argument)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.digraph import WeightedDigraph
+
+__all__ = ["bfs_levels", "largest_component", "connected_component_labels"]
+
+
+def connected_component_labels(g: WeightedDigraph) -> tuple[int, np.ndarray]:
+    """Connected components of the undirected skeleton."""
+    import scipy.sparse as sp
+    from scipy.sparse.csgraph import connected_components
+
+    adj = sp.csr_matrix(
+        (np.ones(g.m), (g.src, g.dst)), shape=(g.n, g.n)
+    )
+    return connected_components(adj, directed=False)
+
+
+def largest_component(g: WeightedDigraph) -> np.ndarray:
+    """Vertex ids of the largest undirected component."""
+    ncomp, labels = connected_component_labels(g)
+    if ncomp <= 1:
+        return np.arange(g.n)
+    counts = np.bincount(labels)
+    return np.nonzero(labels == int(np.argmax(counts)))[0]
+
+
+def bfs_levels(g: WeightedDigraph, root: int) -> tuple[np.ndarray, np.ndarray]:
+    """``(level, parent)`` of a BFS over the undirected skeleton from
+    ``root``; unreached vertices get level −1 / parent −1."""
+    skel = g.skeleton
+    indptr, indices = skel.indptr, skel.indices
+    level = np.full(g.n, -1, dtype=np.int64)
+    parent = np.full(g.n, -1, dtype=np.int64)
+    level[root] = 0
+    frontier = np.array([root], dtype=np.int64)
+    d = 0
+    while frontier.size:
+        d += 1
+        # Gather all neighbors of the frontier at once.
+        chunks = [indices[indptr[u] : indptr[u + 1]] for u in frontier.tolist()]
+        owners = [np.full(c.shape[0], u, dtype=np.int64) for u, c in zip(frontier.tolist(), chunks)]
+        if not chunks:
+            break
+        nbrs = np.concatenate(chunks)
+        own = np.concatenate(owners)
+        fresh = level[nbrs] < 0
+        nbrs, own = nbrs[fresh], own[fresh]
+        # First writer wins for parents; duplicates collapse via unique.
+        uniq, first = np.unique(nbrs, return_index=True)
+        level[uniq] = d
+        parent[uniq] = own[first]
+        frontier = uniq
+    return level, parent

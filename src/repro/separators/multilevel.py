@@ -1,0 +1,251 @@
+"""Multilevel (METIS-style) vertex separators.
+
+The general-purpose engine for large sparse graphs where per-level spectral
+solves get expensive: coarsen the skeleton by heavy-edge matching until it
+is small, bisect the coarsest graph (weighted Fiedler sweep), then project
+the partition back up, refining the boundary greedily at every level.  The
+vertex separator is the smaller endpoint set of the final cut, as in the
+spectral engine.
+
+This is the standard nested-dissection workhorse (George; Karypis–Kumar);
+the paper takes the decomposition as given (comment (iv)), so any engine
+producing small balanced separators slots in.  Quality on planar/grid
+inputs matches the spectral engine at a fraction of the cost for large n
+(see test_separators_multilevel / the T1 benches accept either engine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.digraph import WeightedDigraph
+from ..core.septree import SeparatorFn, SeparatorTree, build_separator_tree
+from .common import BALANCE, component_aware, has_two_sides
+
+__all__ = ["multilevel_separator_fn", "decompose_multilevel"]
+
+
+@dataclass
+class _Level:
+    """One coarsening level: edge arrays (undirected, deduplicated, with
+    multiplicities), vertex weights, and the fine→coarse map."""
+
+    n: int
+    eu: np.ndarray
+    ev: np.ndarray
+    emult: np.ndarray
+    vweight: np.ndarray
+    fine_to_coarse: np.ndarray | None  # None at the finest level
+
+
+def _undirected_edges(g: WeightedDigraph) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Deduplicated undirected skeleton edges with multiplicities."""
+    u = np.minimum(g.src, g.dst)
+    v = np.maximum(g.src, g.dst)
+    keep = u != v
+    key = u[keep] * g.n + v[keep]
+    uniq, counts = np.unique(key, return_counts=True)
+    return (uniq // g.n).astype(np.int64), (uniq % g.n).astype(np.int64), counts.astype(np.float64)
+
+
+def _heavy_edge_matching(level: _Level, rng: np.random.Generator) -> np.ndarray:
+    """Greedy heavy-edge matching: visit vertices in random order, match to
+    the heaviest unmatched neighbor.  Returns the fine→coarse map."""
+    n = level.n
+    # Adjacency in CSR form over the undirected edges (both directions).
+    src = np.concatenate([level.eu, level.ev])
+    dst = np.concatenate([level.ev, level.eu])
+    wgt = np.concatenate([level.emult, level.emult])
+    order = np.argsort(src, kind="stable")
+    src_s, dst_s, w_s = src[order], dst[order], wgt[order]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src_s, minlength=n), out=indptr[1:])
+    match = np.full(n, -1, dtype=np.int64)
+    for v in rng.permutation(n).tolist():
+        if match[v] >= 0:
+            continue
+        lo, hi = indptr[v], indptr[v + 1]
+        nbrs = dst_s[lo:hi]
+        ws = w_s[lo:hi]
+        free = match[nbrs] < 0
+        if not free.any():
+            match[v] = v  # stays single
+            continue
+        cand = nbrs[free]
+        best = cand[int(np.argmax(ws[free]))]
+        match[v] = best
+        match[best] = v
+    # Coarse ids: one per matched pair / singleton.
+    coarse = np.full(n, -1, dtype=np.int64)
+    nxt = 0
+    for v in range(n):
+        if coarse[v] >= 0:
+            continue
+        coarse[v] = nxt
+        if match[v] != v and match[v] >= 0:
+            coarse[match[v]] = nxt
+        nxt += 1
+    return coarse
+
+
+def _coarsen(level: _Level, coarse: np.ndarray) -> _Level:
+    cn = int(coarse.max()) + 1
+    cu = coarse[level.eu]
+    cv = coarse[level.ev]
+    u = np.minimum(cu, cv)
+    v = np.maximum(cu, cv)
+    keep = u != v
+    key = u[keep] * cn + v[keep]
+    uniq, inverse = np.unique(key, return_inverse=True)
+    mult = np.zeros(uniq.shape[0])
+    np.add.at(mult, inverse, level.emult[keep])
+    vweight = np.zeros(cn)
+    np.add.at(vweight, coarse, level.vweight)
+    return _Level(
+        n=cn,
+        eu=(uniq // cn).astype(np.int64),
+        ev=(uniq % cn).astype(np.int64),
+        emult=mult,
+        vweight=vweight,
+        fine_to_coarse=coarse,
+    )
+
+
+def _weighted_fiedler_bisect(level: _Level, rng: np.random.Generator) -> np.ndarray:
+    """Balanced bisection of the coarsest level: Fiedler sweep by vertex
+    weight.  Returns a boolean side-A mask."""
+    n = level.n
+    if n <= 2:
+        mask = np.zeros(n, dtype=bool)
+        mask[: max(1, n // 2)] = True
+        return mask
+    import scipy.sparse as sp
+
+    rows = np.concatenate([level.eu, level.ev])
+    cols = np.concatenate([level.ev, level.eu])
+    data = np.concatenate([level.emult, level.emult])
+    a = sp.coo_matrix((data, (rows, cols)), shape=(n, n)).tocsr()
+    deg = np.asarray(a.sum(axis=1)).ravel()
+    lap = sp.diags(deg) - a
+    try:
+        if n <= 600:
+            _, vecs = np.linalg.eigh(lap.toarray())
+            fied = vecs[:, 1]
+        else:
+            from scipy.sparse.linalg import eigsh
+
+            _, vecs = eigsh(lap, k=2, sigma=-1e-4, which="LM", maxiter=5000)
+            fied = vecs[:, 1]
+    except Exception:  # pragma: no cover - solver hiccup
+        fied = rng.standard_normal(n)
+    order = np.argsort(fied, kind="stable")
+    cum = np.cumsum(level.vweight[order])
+    total = cum[-1]
+    split = int(np.searchsorted(cum, total / 2.0)) + 1
+    split = min(max(split, 1), n - 1)
+    mask = np.zeros(n, dtype=bool)
+    mask[order[:split]] = True
+    return mask
+
+
+def _refine(level: _Level, in_a: np.ndarray, passes: int = 4) -> np.ndarray:
+    """Greedy boundary refinement: move a vertex across the cut when it
+    reduces the cut multiplicity and keeps vertex-weight balance."""
+    n = level.n
+    src = np.concatenate([level.eu, level.ev])
+    dst = np.concatenate([level.ev, level.eu])
+    wgt = np.concatenate([level.emult, level.emult])
+    order = np.argsort(src, kind="stable")
+    src_s, dst_s, w_s = src[order], dst[order], wgt[order]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src_s, minlength=n), out=indptr[1:])
+    total = level.vweight.sum()
+    wa = float(level.vweight[in_a].sum())
+    in_a = in_a.copy()
+    for _ in range(passes):
+        moved = False
+        # Gains: (cut edges incident) − (internal edges incident).
+        boundary = np.unique(
+            np.concatenate([src_s[in_a[src_s] != in_a[dst_s]],
+                            dst_s[in_a[src_s] != in_a[dst_s]]])
+        ) if src_s.size else np.empty(0, dtype=np.int64)
+        for v in boundary.tolist():
+            lo, hi = indptr[v], indptr[v + 1]
+            cross = in_a[dst_s[lo:hi]] != in_a[v]
+            gain = float(w_s[lo:hi][cross].sum() - w_s[lo:hi][~cross].sum())
+            if gain <= 0:
+                continue
+            new_wa = wa + (level.vweight[v] if not in_a[v] else -level.vweight[v])
+            if not ((1 - BALANCE) * total <= new_wa <= BALANCE * total):
+                continue
+            in_a[v] = not in_a[v]
+            wa = new_wa
+            moved = True
+        if not moved:
+            break
+    return in_a
+
+
+def _vertex_separator_from_cut(g: WeightedDigraph, in_a: np.ndarray) -> np.ndarray:
+    cross = in_a[g.src] != in_a[g.dst]
+    if not cross.any():
+        return np.empty(0, dtype=np.int64)
+    a_side = np.union1d(g.src[cross & in_a[g.src]], g.dst[cross & in_a[g.dst]])
+    b_side = np.union1d(g.src[cross & ~in_a[g.src]], g.dst[cross & ~in_a[g.dst]])
+    return a_side if a_side.shape[0] <= b_side.shape[0] else b_side
+
+
+def multilevel_separator_fn(
+    *, coarsest: int = 80, max_levels: int = 20, seed: int = 0
+) -> SeparatorFn:
+    """Separator oracle: multilevel edge bisection → vertex separator."""
+
+    def core(sub: WeightedDigraph, global_vertices: np.ndarray) -> np.ndarray:
+        rng = np.random.default_rng(seed + sub.n)
+        eu, ev, mult = _undirected_edges(sub)
+        levels = [
+            _Level(
+                n=sub.n, eu=eu, ev=ev, emult=mult,
+                vweight=np.ones(sub.n), fine_to_coarse=None,
+            )
+        ]
+        while levels[-1].n > coarsest and len(levels) < max_levels:
+            coarse_map = _heavy_edge_matching(levels[-1], rng)
+            nxt = _coarsen(levels[-1], coarse_map)
+            if nxt.n >= levels[-1].n:  # matching stalled (e.g. clique)
+                break
+            levels.append(nxt)
+        in_a = _weighted_fiedler_bisect(levels[-1], rng)
+        in_a = _refine(levels[-1], in_a)
+        # Project back up, refining each level.
+        for lvl in reversed(levels[1:]):
+            fine = lvl.fine_to_coarse
+            in_a = in_a[fine]
+            # After projection, in_a indexes the *finer* level.
+            finer_idx = levels.index(lvl) - 1
+            in_a = _refine(levels[finer_idx], in_a)
+        sep = _vertex_separator_from_cut(sub, in_a)
+        if sep.size and has_two_sides(sub, sep):
+            return sep
+        return np.empty(0, dtype=np.int64)  # common fallback takes over
+
+    return component_aware(core)
+
+
+def decompose_multilevel(
+    graph: WeightedDigraph,
+    *,
+    leaf_size: int = 8,
+    coarsest: int = 80,
+    seed: int = 0,
+    full_separator_inclusion: bool = True,
+) -> SeparatorTree:
+    """Separator decomposition via multilevel nested dissection."""
+    return build_separator_tree(
+        graph,
+        multilevel_separator_fn(coarsest=coarsest, seed=seed),
+        leaf_size=leaf_size,
+        full_separator_inclusion=full_separator_inclusion,
+    )

@@ -1,0 +1,72 @@
+"""Decomposition quality metrics — which μ a tree actually achieved.
+
+Paper §5 assumes |S(t)| = O(|V(t)|^μ), geometric child shrinkage, and O(1)
+leaves.  Experiments must report the decomposition they actually ran on, so
+this module fits μ̂ by least squares on log |S(t)| vs log |V(t)| over
+internal nodes, and summarizes balance and height.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.septree import SeparatorTree
+
+__all__ = ["DecompositionQuality", "assess"]
+
+
+@dataclass(frozen=True)
+class DecompositionQuality:
+    n: int
+    num_nodes: int
+    height: int
+    max_leaf_size: int
+    mu_hat: float
+    mu_intercept: float
+    max_separator: int
+    worst_balance: float
+    height_over_log2n: float
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        return (
+            f"n={self.n} nodes={self.num_nodes} height={self.height} "
+            f"(={self.height_over_log2n:.2f}·log₂n) μ̂={self.mu_hat:.3f} "
+            f"max|S|={self.max_separator} worst-balance={self.worst_balance:.3f} "
+            f"max-leaf={self.max_leaf_size}"
+        )
+
+
+def assess(tree: SeparatorTree) -> DecompositionQuality:
+    """Measure the tree against the §5 assumptions."""
+    sizes, seps, balances = [], [], []
+    for t in tree.nodes:
+        if t.is_leaf:
+            continue
+        sizes.append(t.size)
+        seps.append(max(1, t.separator.shape[0]))
+        kid_sizes = [tree.nodes[c].size for c in t.children]
+        balances.append(max(kid_sizes) / t.size if kid_sizes else 0.0)
+    if sizes:
+        x = np.log(np.asarray(sizes, dtype=np.float64))
+        y = np.log(np.asarray(seps, dtype=np.float64))
+        if np.ptp(x) > 1e-9:
+            mu, intercept = np.polyfit(x, y, 1)
+        else:
+            mu, intercept = 0.0, float(y.mean())
+    else:
+        mu, intercept = 0.0, 0.0
+    log2n = max(1.0, np.log2(max(2, tree.n)))
+    return DecompositionQuality(
+        n=tree.n,
+        num_nodes=len(tree.nodes),
+        height=tree.height,
+        max_leaf_size=tree.max_leaf_size(),
+        mu_hat=float(mu),
+        mu_intercept=float(intercept),
+        max_separator=int(max(seps)) if seps else 0,
+        worst_balance=float(max(balances)) if balances else 0.0,
+        height_over_log2n=tree.height / log2n,
+    )

@@ -1,0 +1,1 @@
+"""Reproducible workload generators for every experiment family."""

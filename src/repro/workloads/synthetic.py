@@ -1,0 +1,136 @@
+"""Separator-programmable synthetic graphs: any μ you want, by construction.
+
+Table 1 is parameterized by μ, but natural families only realize a few
+values (grids: (d−1)/d; trees: 0; planar: 1/2).  This generator *builds the
+decomposition first*: a recursive construction places a separator of
+exactly ``⌈k^μ⌉`` vertices at every node and splits the rest in half —
+with full separator inclusion, so separator vertices keep riding down both
+subtrees until they land in leaves.
+
+Edges are created **only inside leaf vertex sets**.  That placement is the
+key invariant: a leaf's vertices lie on a single side of *every* ancestor
+split (the leaf's root-path picks one child at each level), so an
+intra-leaf edge can never cross any separator and never pierce any
+boundary shield — the programmed tree is a valid separator decomposition
+of the emitted graph by construction, with |S(t)| = Θ(|V(t)|^μ) at every
+scale.  Distances stay non-trivial because leaves share their boundary
+vertices (ancestor separators), which is exactly how the paper's model
+routes anything anywhere.
+
+This lets the benches sweep the whole μ axis of Table 1 — in particular
+the boundary rows 3μ = 1 (preprocessing n·log² n) and 2μ = 1 (per-source
+n·log n) that no standard family hits exactly.  The decomposition is
+*input* in the paper's model (comment iv), so programming it is a
+legitimate way to measure the μ-dependence of the algorithms' costs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.digraph import WeightedDigraph
+from ..core.septree import SeparatorTree, SepTreeNode
+
+__all__ = ["separator_programmable_family"]
+
+
+def separator_programmable_family(
+    n: int,
+    mu: float,
+    rng: np.random.Generator,
+    *,
+    leaf_size: int = 8,
+    extra_degree: float = 1.5,
+    weight_range: tuple[float, float] = (1.0, 10.0),
+) -> tuple[WeightedDigraph, SeparatorTree]:
+    """Build ``(graph, tree)`` with programmed separator exponent ``mu``.
+
+    Parameters
+    ----------
+    leaf_size:
+        Recursion stops at this many *fresh* vertices; actual leaf label
+        sets also carry the boundary chain, so leaves are O(leaf_size +
+        local boundary) — the paper's O(1) with the usual constants.
+    extra_degree:
+        Random extra intra-leaf edges per leaf vertex on top of the leaf's
+        spanning path (controls density; all edges are leaf-internal).
+    """
+    if not 0.0 <= mu < 1.0:
+        raise ValueError("mu must be in [0, 1)")
+    if n < 1:
+        raise ValueError("n must be positive")
+    src_parts: list[np.ndarray] = []
+    dst_parts: list[np.ndarray] = []
+    nodes: list[SepTreeNode] = []
+
+    def add_leaf_edges(verts: np.ndarray, boundary: np.ndarray) -> None:
+        """Leaf-internal edges with ≥1 *fresh* (non-boundary) endpoint.
+
+        Two boundary vertices coexist in other subtrees too, where later
+        splits may put them on opposite sides — an edge between them would
+        pierce that split.  A fresh vertex exists on this leaf's root path
+        only, so fresh-incident edges can never cross any separator.
+        """
+        fresh = np.setdiff1d(verts, boundary, assume_unique=False)
+        if fresh.size == 0:
+            return
+        srcs, dsts = [], []
+        if fresh.size >= 2:  # spanning path over the fresh vertices
+            perm = rng.permutation(fresh)
+            srcs += [perm[:-1], perm[1:]]
+            dsts += [perm[1:], perm[:-1]]
+        if boundary.size:  # hook every boundary vertex to a fresh one
+            anchors = fresh[rng.integers(0, fresh.size, size=boundary.size)]
+            srcs += [boundary, anchors]
+            dsts += [anchors, boundary]
+        extras = int(round(extra_degree * verts.size))
+        if extras:
+            eu = fresh[rng.integers(0, fresh.size, size=extras)]
+            ev = verts[rng.integers(0, verts.size, size=extras)]
+            keep = eu != ev
+            srcs += [eu[keep], ev[keep]]
+            dsts += [ev[keep], eu[keep]]
+        if srcs:
+            src_parts.append(np.concatenate(srcs))
+            dst_parts.append(np.concatenate(dsts))
+
+    def build(verts: np.ndarray, boundary: np.ndarray, parent: int, level: int) -> None:
+        idx = len(nodes)
+        if parent >= 0:
+            p = nodes[parent]
+            p.children = p.children + (idx,)
+        k = verts.shape[0]
+        if k <= leaf_size + boundary.shape[0]:
+            nodes.append(
+                SepTreeNode(
+                    idx=idx, level=level, parent=parent, vertices=np.sort(verts),
+                    separator=np.empty(0, dtype=np.int64), boundary=np.sort(boundary),
+                )
+            )
+            add_leaf_edges(verts, boundary)
+            return
+        sep_size = min(k - 2, max(1, int(round(k ** mu))))
+        perm = rng.permutation(verts)
+        sep = perm[:sep_size]
+        rest = perm[sep_size:]
+        half = rest.shape[0] // 2
+        v1, v2 = rest[:half], rest[half:]
+        nodes.append(
+            SepTreeNode(
+                idx=idx, level=level, parent=parent, vertices=np.sort(verts),
+                separator=np.sort(sep), boundary=np.sort(boundary),
+            )
+        )
+        new_pool = np.union1d(sep, boundary)
+        for side in (v1, v2):
+            child_verts = np.union1d(side, sep)
+            child_boundary = np.intersect1d(new_pool, child_verts)
+            build(child_verts, child_boundary, idx, level + 1)
+
+    build(np.arange(n, dtype=np.int64), np.empty(0, dtype=np.int64), -1, 0)
+    src = np.concatenate(src_parts) if src_parts else np.empty(0, dtype=np.int64)
+    dst = np.concatenate(dst_parts) if dst_parts else np.empty(0, dtype=np.int64)
+    w = rng.uniform(*weight_range, size=src.shape[0])
+    graph = WeightedDigraph(n, src, dst, w)
+    tree = SeparatorTree(nodes, n)
+    return graph, tree

@@ -1,0 +1,83 @@
+"""Tests for the sequential baselines (Dijkstra, Johnson) the paper compares
+against, cross-validated with networkx."""
+
+import numpy as np
+import pytest
+
+from repro.core.digraph import WeightedDigraph
+from repro.kernels.bellman_ford import NegativeCycleError
+from repro.kernels.dijkstra import dijkstra, dijkstra_multi, dijkstra_with_parents
+from repro.kernels.johnson import johnson, johnson_potential
+from repro.workloads.generators import apply_potential_weights, delaunay_digraph, grid_digraph
+from tests.conftest import assert_distances_equal, reference_apsp
+
+
+def test_dijkstra_line(tiny_line):
+    assert dijkstra(tiny_line, 0).tolist() == [0.0, 1.0, 3.0, 6.0]
+
+
+def test_dijkstra_rejects_negative():
+    g = WeightedDigraph(2, [0], [1], [-1.0])
+    with pytest.raises(ValueError):
+        dijkstra(g, 0)
+
+
+def test_dijkstra_unreachable(tiny_line):
+    d = dijkstra(tiny_line, 3)
+    assert d.tolist() == [np.inf, np.inf, np.inf, 0.0]
+
+
+def test_dijkstra_parents_form_tree(rng):
+    g = grid_digraph((5, 5), rng)
+    dist, parent = dijkstra_with_parents(g, 0)
+    assert parent[0] == -1
+    for v in range(1, g.n):
+        if np.isfinite(dist[v]):
+            u = parent[v]
+            assert u >= 0
+            # Parent edge is tight.
+            w = g.dense_weights()[u, v]
+            assert np.isclose(dist[u] + w, dist[v])
+
+
+def test_dijkstra_multi_matches_reference(rng):
+    g, _ = delaunay_digraph(60, rng)
+    ref = reference_apsp(g)
+    got = dijkstra_multi(g, [0, 5, 59])
+    assert_distances_equal(got, ref[[0, 5, 59]])
+
+
+def test_johnson_nonnegative_same_as_dijkstra(rng):
+    g = grid_digraph((5, 5), rng)
+    assert_distances_equal(johnson(g, [0, 3]), dijkstra_multi(g, [0, 3]))
+
+
+def test_johnson_negative_weights(rng):
+    g = apply_potential_weights(grid_digraph((5, 5), rng), rng)
+    assert g.has_negative_weights()
+    ref = reference_apsp(g)
+    assert_distances_equal(johnson(g, [0, 7, 24]), ref[[0, 7, 24]])
+
+
+def test_johnson_potential_feasible(rng):
+    g = apply_potential_weights(grid_digraph((4, 4), rng), rng)
+    h = johnson_potential(g)
+    rew = g.weight + h[g.src] - h[g.dst]
+    assert (rew >= -1e-9).all()
+
+
+def test_johnson_negative_cycle_raises():
+    g = WeightedDigraph(3, [0, 1, 2], [1, 2, 0], [-1.0, -1.0, -1.0])
+    with pytest.raises(NegativeCycleError):
+        johnson(g, [0])
+
+
+def test_johnson_matches_networkx(rng):
+    import networkx as nx
+
+    g = apply_potential_weights(grid_digraph((4, 4), rng), rng)
+    got = johnson(g, [0])[0]
+    ref = nx.single_source_bellman_ford_path_length(g.to_networkx(), 0)
+    for v in range(g.n):
+        want = ref.get(v, np.inf)
+        assert np.isclose(got[v], want) or (np.isinf(got[v]) and np.isinf(want))

@@ -1,0 +1,126 @@
+"""Tests for the vectorized Bellman–Ford phase engine (§2.2 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core.digraph import WeightedDigraph
+from repro.core.semiring import BOOLEAN, MIN_PLUS
+from repro.kernels.bellman_ford import (
+    EdgeRelaxer,
+    NegativeCycleError,
+    bellman_ford,
+    initial_distances,
+    min_weight_diameter,
+    phases_to_convergence,
+)
+from repro.kernels.dijkstra import dijkstra
+from repro.pram.machine import Ledger
+from repro.workloads.generators import apply_potential_weights, grid_digraph
+from tests.conftest import assert_distances_equal
+
+
+def test_single_source_line(tiny_line):
+    d = bellman_ford(tiny_line, 0)
+    assert d.tolist() == [0.0, 1.0, 3.0, 6.0]
+
+
+def test_multi_source_shape(tiny_line):
+    d = bellman_ford(tiny_line, [0, 2])
+    assert d.shape == (2, 4)
+    assert d[1].tolist() == [np.inf, np.inf, 0.0, 3.0]
+
+
+def test_matches_dijkstra_on_random_grid(rng):
+    g = grid_digraph((6, 6), rng)
+    d = bellman_ford(g, [0, 17])
+    assert_distances_equal(d[0], dijkstra(g, 0))
+    assert_distances_equal(d[1], dijkstra(g, 17))
+
+
+def test_negative_weights_ok(rng):
+    g = apply_potential_weights(grid_digraph((5, 5), rng), rng)
+    d = bellman_ford(g, 0, check_negative_cycle=True)
+    # Cross-check against Floyd-Warshall.
+    from repro.kernels.floyd_warshall import floyd_warshall
+
+    ref = floyd_warshall(g.dense_weights())
+    assert_distances_equal(d, ref[0])
+
+
+def test_negative_cycle_raises():
+    g = WeightedDigraph(3, [0, 1, 2], [1, 2, 0], [1.0, 1.0, -5.0])
+    with pytest.raises(NegativeCycleError):
+        bellman_ford(g, 0, check_negative_cycle=True)
+
+
+def test_negative_cycle_not_checked_by_default():
+    g = WeightedDigraph(3, [0, 1, 2], [1, 2, 0], [1.0, 1.0, -5.0])
+    bellman_ford(g, 0)  # capped at n phases; no exception
+
+
+def test_max_phases_caps_hops(tiny_line):
+    d = bellman_ford(tiny_line, 0, max_phases=1)
+    assert d.tolist() == [0.0, 1.0, np.inf, np.inf]
+
+
+def test_relaxer_empty_graph():
+    g = WeightedDigraph(3, [], [], [])
+    r = EdgeRelaxer.from_graph(g)
+    dist = initial_distances(3, [0])
+    assert not r.relax(dist)
+
+
+def test_relaxer_reports_improvement(tiny_line):
+    r = EdgeRelaxer.from_graph(tiny_line)
+    dist = initial_distances(4, [0])
+    assert r.relax(dist)
+    assert r.relax(dist)
+    assert r.relax(dist)
+    assert not r.relax(dist)  # fixpoint after 3 hops
+
+
+def test_phases_to_convergence_counts_diameter(tiny_line):
+    dist = initial_distances(4, np.arange(4))
+    assert phases_to_convergence(tiny_line, dist) == 3
+
+
+def test_min_weight_diameter_path_graph():
+    # Unweighted directed path on 5 vertices: diameter 4.
+    g = WeightedDigraph(5, [0, 1, 2, 3], [1, 2, 3, 4], np.ones(4))
+    assert min_weight_diameter(g) == 4
+
+
+def test_min_weight_diameter_weighted_shortcut():
+    # 0->1->2 each weight 1 and a direct 0->2 of weight 2: the minimum
+    # weight is achieved by a 1-edge path, so diameter stays small.
+    g = WeightedDigraph(3, [0, 1, 0], [1, 2, 2], [1.0, 1.0, 2.0])
+    assert min_weight_diameter(g) == 1
+
+
+def test_phases_to_convergence_cap_raises_on_negative_cycle():
+    g = WeightedDigraph(2, [0, 1], [1, 0], [-1.0, -1.0])
+    dist = initial_distances(2, [0])
+    with pytest.raises(NegativeCycleError):
+        phases_to_convergence(g, dist)
+
+
+def test_boolean_semiring_bfs(tiny_line):
+    d = bellman_ford(tiny_line, 0, semiring=BOOLEAN)
+    assert d.tolist() == [True, True, True, True]
+    d2 = bellman_ford(tiny_line, 3, semiring=BOOLEAN)
+    assert d2.tolist() == [False, False, False, True]
+
+
+def test_ledger_charges_per_phase(tiny_line):
+    led = Ledger()
+    bellman_ford(tiny_line, 0, ledger=led)
+    # 4 phases ran (3 improving + 1 fixpoint check), m=3 edges each.
+    assert led.work == 4 * 3
+    assert led.breakdown()["bf-phase"]["calls"] == 4
+
+
+def test_initial_distances_semiring():
+    d = initial_distances(3, [1], BOOLEAN)
+    assert d.tolist() == [[False, True, False]]
+    d2 = initial_distances(3, [0, 2], MIN_PLUS)
+    assert d2[0, 0] == 0.0 and d2[1, 2] == 0.0 and d2[0, 1] == np.inf

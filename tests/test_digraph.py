@@ -1,0 +1,130 @@
+"""Unit tests for the weighted digraph substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core.digraph import WeightedDigraph
+
+
+def test_basic_construction():
+    g = WeightedDigraph(3, [0, 1], [1, 2], [2.5, 1.0])
+    assert g.n == 3 and g.m == 2
+    assert g.weight.dtype == np.float64
+
+
+def test_unit_weights_default():
+    g = WeightedDigraph(3, [0, 1], [1, 2])
+    assert (g.weight == 1.0).all()
+
+
+def test_rejects_out_of_range_vertices():
+    with pytest.raises(ValueError):
+        WeightedDigraph(2, [0, 1], [1, 2])
+    with pytest.raises(ValueError):
+        WeightedDigraph(2, [-1], [0])
+
+
+def test_rejects_mismatched_arrays():
+    with pytest.raises(ValueError):
+        WeightedDigraph(3, [0, 1], [1])
+    with pytest.raises(ValueError):
+        WeightedDigraph(3, [0, 1], [1, 2], [1.0])
+
+
+def test_from_edges_mixed_tuples():
+    g = WeightedDigraph.from_edges(3, [(0, 1), (1, 2, 5.0)])
+    assert g.m == 2
+    assert g.weight.tolist() == [1.0, 5.0]
+
+
+def test_out_in_adjacency(tiny_line):
+    g = tiny_line
+    assert g.out_adj.neighbors(0).tolist() == [1]
+    assert g.out_adj.neighbor_weights(1).tolist() == [2.0]
+    assert g.in_adj.neighbors(3).tolist() == [2]
+    assert g.out_adj.degree(3) == 0
+    assert g.in_adj.degree(0) == 0
+
+
+def test_skeleton_is_symmetric(tiny_line):
+    sk = tiny_line.skeleton
+    # Every directed edge appears in both orientations in the skeleton.
+    assert sk.degree(0) == 1 and sk.degree(1) == 2
+    assert set(sk.neighbors(1).tolist()) == {0, 2}
+
+
+def test_dense_weights_parallel_edges_take_min():
+    g = WeightedDigraph(2, [0, 0], [1, 1], [5.0, 3.0])
+    w = g.dense_weights()
+    assert w[0, 1] == 3.0
+    assert w[0, 0] == 0.0 and w[1, 0] == np.inf
+
+
+def test_induced_subgraph_relabeling():
+    g = WeightedDigraph(5, [0, 1, 3, 4], [1, 3, 4, 0], [1, 2, 3, 4])
+    sub, mapping = g.induced_subgraph(np.array([1, 3, 4]))
+    assert mapping.tolist() == [1, 3, 4]
+    assert sub.n == 3 and sub.m == 2  # edges 1->3 and 3->4 survive
+    # Local edges use local ids.
+    assert set(zip(sub.src.tolist(), sub.dst.tolist())) == {(0, 1), (1, 2)}
+
+
+def test_reverse_swaps_endpoints(tiny_line):
+    r = tiny_line.reverse()
+    assert r.out_adj.neighbors(3).tolist() == [2]
+    assert r.out_adj.degree(0) == 0
+
+
+def test_with_extra_edges(tiny_line):
+    g2 = tiny_line.with_extra_edges([3], [0], [9.0])
+    assert g2.m == tiny_line.m + 1
+    assert g2.weight[-1] == 9.0
+    # Original untouched.
+    assert tiny_line.m == 3
+
+
+def test_networkx_roundtrip(tiny_line):
+    nxg = tiny_line.to_networkx()
+    back = WeightedDigraph.from_networkx(nxg)
+    assert back.n == tiny_line.n and back.m == tiny_line.m
+    assert np.allclose(back.dense_weights(), tiny_line.dense_weights())
+
+
+def test_from_networkx_undirected_doubles_edges():
+    import networkx as nx
+
+    und = nx.Graph()
+    und.add_nodes_from(range(3))
+    und.add_edge(0, 1, weight=2.0)
+    g = WeightedDigraph.from_networkx(und)
+    assert g.m == 2
+    w = g.dense_weights()
+    assert w[0, 1] == 2.0 and w[1, 0] == 2.0
+
+
+def test_from_dense_roundtrip(rng):
+    a = np.full((4, 4), np.inf)
+    np.fill_diagonal(a, 0.0)
+    a[0, 2] = 1.5
+    a[3, 1] = -2.0
+    g = WeightedDigraph.from_dense(a)
+    assert g.m == 2
+    assert np.allclose(g.dense_weights(), a)
+
+
+def test_to_scipy_csr_min_collapses_parallel():
+    g = WeightedDigraph(2, [0, 0], [1, 1], [5.0, 3.0])
+    m = g.to_scipy_csr()
+    assert m[0, 1] == 3.0
+
+
+def test_edge_membership():
+    g = WeightedDigraph(4, [0, 1, 2], [1, 2, 3], [1, 1, 1])
+    mask = g.edge_membership(np.array([0, 1, 2]))
+    assert mask.tolist() == [True, True, False]
+
+
+def test_has_negative_weights(tiny_line):
+    assert not tiny_line.has_negative_weights()
+    g = WeightedDigraph(2, [0], [1], [-1.0])
+    assert g.has_negative_weights()

@@ -1,0 +1,149 @@
+"""Tests for the extension features: augmentation self-verification with
+failure injection, decomposition reuse across weight/direction changes
+(paper comment iv), shortest-path forests, and edge-case graphs."""
+
+import numpy as np
+import pytest
+
+from repro import ShortestPathOracle
+from repro.core.digraph import WeightedDigraph
+from repro.core.leaves_up import augment_leaves_up
+from repro.core.paths import path_weight, reconstruct_path
+from repro.separators.grid import decompose_grid
+from repro.separators.spectral import decompose_spectral
+from repro.workloads.generators import apply_potential_weights, grid_digraph
+from tests.conftest import assert_distances_equal, reference_apsp
+
+
+class TestVerifyEdges:
+    def test_healthy_augmentation_verifies(self, grid7):
+        g, tree = grid7
+        aug = augment_leaves_up(g, tree)
+        assert aug.verify_edges() < 1e-9
+
+    def test_detects_injected_underestimate(self, grid7):
+        """Failure injection: corrupt one E⁺ weight downward — the
+        soundness check must report a positive deviation."""
+        g, tree = grid7
+        aug = augment_leaves_up(g, tree)
+        victim = int(np.argmax(aug.weight))
+        aug.weight[victim] -= 50.0
+        rng = np.random.default_rng(0)
+        # Sample every edge so the victim is included.
+        assert aug.verify_edges(sample_size=aug.size, rng=rng) > 10.0
+
+    def test_detects_injected_overestimate(self, rng):
+        """An inflated shortcut that queries rely on shows up via the
+        completeness (scheduled-query vs Bellman–Ford) check.  Needs a graph
+        whose diameter exceeds what the schedule's few full-E phases can
+        heal, hence 16×16 rather than the small fixture."""
+        g = grid_digraph((16, 16), rng)
+        tree = decompose_grid(g, (16, 16), leaf_size=4)
+        aug = augment_leaves_up(g, tree)
+        aug.weight += 25.0  # inflate everything: shortcuts become useless
+        assert aug.verify_edges(sample_size=8) > 1.0
+
+    def test_empty_augmentation(self, rng):
+        g = grid_digraph((2, 2), rng)
+        tree = decompose_grid(g, (2, 2), leaf_size=8)
+        aug = augment_leaves_up(g, tree)
+        assert aug.verify_edges() < 1e-9
+
+
+class TestDecompositionReuse:
+    def test_reweighting_reuses_tree(self, grid7, rng):
+        g, tree = grid7
+        oracle = ShortestPathOracle.build(g, tree)
+        new_w = rng.uniform(1.0, 5.0, size=g.m)
+        fresh = oracle.with_new_weights(new_w)
+        assert fresh.tree is tree
+        g2 = WeightedDigraph(g.n, g.src, g.dst, new_w)
+        assert_distances_equal(fresh.distances([0, 11]), reference_apsp(g2)[[0, 11]])
+
+    def test_direction_flip_reuses_tree(self, grid7):
+        """Reversing every edge keeps the skeleton, so the tree is valid."""
+        g, tree = grid7
+        oracle = ShortestPathOracle.build(g, tree)
+        rev = oracle.with_new_weights(graph=g.reverse())
+        ref = reference_apsp(g)
+        # dist_rev(u, v) == dist(v, u).
+        got = rev.distances(5)
+        assert_distances_equal(got, ref[:, 5])
+
+    def test_negative_reweighting(self, grid7, rng):
+        g, tree = grid7
+        oracle = ShortestPathOracle.build(g, tree)
+        g_neg = apply_potential_weights(g, rng)
+        fresh = oracle.with_new_weights(g_neg.weight)
+        assert_distances_equal(fresh.distances(0), reference_apsp(g_neg)[0])
+
+    def test_argument_validation(self, grid7):
+        g, tree = grid7
+        oracle = ShortestPathOracle.build(g, tree)
+        with pytest.raises(ValueError):
+            oracle.with_new_weights()
+        with pytest.raises(ValueError):
+            oracle.with_new_weights(g.weight, graph=g)
+
+
+class TestShortestPathForest:
+    def test_forest_rows_match_single_trees(self, grid7):
+        g, tree = grid7
+        oracle = ShortestPathOracle.build(g, tree)
+        srcs = [0, 24, 48]
+        forest = oracle.shortest_path_forest(srcs)
+        assert forest.shape == (3, g.n)
+        ref = reference_apsp(g)
+        for i, s in enumerate(srcs):
+            for v in (7, 30, 44):
+                p = reconstruct_path(forest[i], s, v)
+                assert p is not None
+                assert np.isclose(path_weight(g, p), ref[s, v])
+
+
+class TestEdgeCaseGraphs:
+    def test_positive_self_loops_ignored(self, rng):
+        g = grid_digraph((4, 4), rng)
+        g = g.with_extra_edges([3, 7], [3, 7], [2.0, 0.5])
+        tree = decompose_grid(g, (4, 4), leaf_size=4)
+        aug = augment_leaves_up(g, tree)
+        from repro.core.sssp import sssp_scheduled
+
+        assert_distances_equal(sssp_scheduled(aug, list(range(g.n))), reference_apsp(g))
+
+    def test_zero_weight_edges(self, rng):
+        g = grid_digraph((4, 4), rng)
+        w = g.weight.copy()
+        w[::3] = 0.0
+        g = WeightedDigraph(g.n, g.src, g.dst, w)
+        tree = decompose_grid(g, (4, 4), leaf_size=4)
+        oracle = ShortestPathOracle.build(g, tree)
+        assert_distances_equal(oracle.distances(0), reference_apsp(g)[0])
+
+    def test_heavy_parallel_edges(self, rng):
+        g = grid_digraph((4, 4), rng)
+        # Duplicate every edge with random alternative weights.
+        g = g.with_extra_edges(g.src, g.dst, rng.uniform(0.1, 20.0, g.m))
+        tree = decompose_grid(g, (4, 4), leaf_size=4)
+        oracle = ShortestPathOracle.build(g, tree)
+        assert_distances_equal(oracle.distances(3), reference_apsp(g)[3])
+
+    def test_single_vertex_graph(self):
+        g = WeightedDigraph(1, [], [], [])
+        tree = decompose_spectral(g, leaf_size=4)
+        oracle = ShortestPathOracle.build(g, tree)
+        assert oracle.distances(0).tolist() == [0.0]
+
+    def test_two_vertices_one_edge(self):
+        g = WeightedDigraph(2, [0], [1], [3.5])
+        tree = decompose_spectral(g, leaf_size=1)
+        oracle = ShortestPathOracle.build(g, tree)
+        d = oracle.distances(0)
+        assert d[1] == 3.5 and np.isinf(oracle.distances(1)[0])
+
+    def test_isolated_vertices(self, rng):
+        g = WeightedDigraph(6, [0, 1], [1, 2], [1.0, 2.0])  # 3,4,5 isolated
+        tree = decompose_spectral(g, leaf_size=2)
+        oracle = ShortestPathOracle.build(g, tree)
+        d = oracle.distances(0)
+        assert d[2] == 3.0 and np.isinf(d[3:]).all()

@@ -1,0 +1,107 @@
+"""Tests for .npz persistence of graphs, trees and augmentations."""
+
+import numpy as np
+import pytest
+
+from repro.core.leaves_up import augment_leaves_up
+from repro.core.scheduler import build_schedule
+from repro.core.sssp import sssp_scheduled
+from repro.io import (
+    load_augmentation,
+    load_graph,
+    load_tree,
+    save_augmentation,
+    save_graph,
+    save_tree,
+)
+from tests.conftest import assert_distances_equal, reference_apsp
+
+
+class TestGraphIO:
+    def test_roundtrip(self, grid7, tmp_path):
+        g, _ = grid7
+        p = tmp_path / "g.npz"
+        save_graph(p, g)
+        back = load_graph(p)
+        assert back.n == g.n
+        assert np.array_equal(back.src, g.src)
+        assert np.array_equal(back.weight, g.weight)
+
+    def test_kind_check(self, grid7, tmp_path):
+        g, tree = grid7
+        p = tmp_path / "t.npz"
+        save_tree(p, tree)
+        with pytest.raises(ValueError):
+            load_graph(p)
+
+
+class TestTreeIO:
+    def test_roundtrip_preserves_structure(self, grid7, tmp_path):
+        g, tree = grid7
+        p = tmp_path / "t.npz"
+        save_tree(p, tree)
+        back = load_tree(p)
+        assert back.n == tree.n and back.height == tree.height
+        assert len(back.nodes) == len(tree.nodes)
+        for a, b in zip(tree.nodes, back.nodes):
+            assert np.array_equal(a.vertices, b.vertices)
+            assert np.array_equal(a.separator, b.separator)
+            assert np.array_equal(a.boundary, b.boundary)
+            assert a.children == b.children and a.parent == b.parent
+        back.validate(g)
+
+    def test_reloaded_tree_drives_pipeline(self, grid7, tmp_path):
+        """Comment (iv) operationalized: decompose once, store, reuse."""
+        g, tree = grid7
+        p = tmp_path / "t.npz"
+        save_tree(p, tree)
+        back = load_tree(p)
+        aug = augment_leaves_up(g, back, keep_node_distances=False)
+        got = sssp_scheduled(aug, [0, 24])
+        assert_distances_equal(got, reference_apsp(g)[[0, 24]])
+
+    def test_vertex_levels_recomputed(self, grid7, tmp_path):
+        g, tree = grid7
+        p = tmp_path / "t.npz"
+        save_tree(p, tree)
+        back = load_tree(p)
+        assert np.array_equal(back.vertex_level, tree.vertex_level)
+        assert np.array_equal(back.vertex_node, tree.vertex_node)
+
+
+class TestAugmentationIO:
+    def test_roundtrip_answers_queries(self, grid6_negative, tmp_path):
+        g, tree = grid6_negative
+        aug = augment_leaves_up(g, tree, keep_node_distances=False)
+        p = tmp_path / "aug.npz"
+        save_augmentation(p, aug)
+        back = load_augmentation(p)
+        assert back.method == aug.method
+        assert back.size == aug.size
+        assert back.diameter_bound == aug.diameter_bound
+        sched = build_schedule(back)
+        got = sssp_scheduled(back, list(range(g.n)), schedule=sched)
+        assert_distances_equal(got, reference_apsp(g))
+
+    def test_boolean_augmentation_roundtrip(self, grid7, tmp_path):
+        from repro.core.reach import reachability_augmentation, reachable_from
+
+        g, tree = grid7
+        aug = reachability_augmentation(g, tree)
+        p = tmp_path / "baug.npz"
+        save_augmentation(p, aug)
+        back = load_augmentation(p)
+        assert back.semiring.name == "boolean"
+        assert np.array_equal(reachable_from(back, [0]), reachable_from(aug, [0]))
+
+
+class TestOracleSaveLoad:
+    def test_facade_roundtrip(self, grid6_negative, tmp_path):
+        from repro import ShortestPathOracle
+
+        g, tree = grid6_negative
+        oracle = ShortestPathOracle.build(g, tree)
+        oracle.save(tmp_path / "oracle.npz")
+        back = ShortestPathOracle.load(tmp_path / "oracle.npz")
+        assert back.diameter_bound == oracle.diameter_bound
+        assert np.array_equal(back.distances([0, 20]), oracle.distances([0, 20]))

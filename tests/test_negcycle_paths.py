@@ -1,0 +1,111 @@
+"""Tests for negative-cycle detection/extraction and path reconstruction
+(paper comments (i) and (ii))."""
+
+import numpy as np
+import pytest
+
+from repro.core.digraph import WeightedDigraph
+from repro.core.negcycle import cycle_weight, find_negative_cycle, has_negative_cycle
+from repro.core.paths import (
+    path_weight,
+    reconstruct_path,
+    shortest_path_tree,
+    tight_edge_mask,
+)
+from repro.kernels.bellman_ford import bellman_ford
+from repro.workloads.generators import apply_potential_weights, grid_digraph
+
+
+class TestNegativeCycles:
+    def test_no_cycle_on_potential_weights(self, rng):
+        g = apply_potential_weights(grid_digraph((5, 5), rng), rng)
+        assert not has_negative_cycle(g)
+        assert find_negative_cycle(g) is None
+
+    def test_detects_simple_cycle(self):
+        g = WeightedDigraph(3, [0, 1, 2], [1, 2, 0], [1.0, 1.0, -3.0])
+        assert has_negative_cycle(g)
+
+    def test_detects_negative_self_loop(self):
+        g = WeightedDigraph(2, [0, 1], [1, 1], [1.0, -0.5])
+        assert has_negative_cycle(g)
+
+    def test_zero_cycle_is_fine(self):
+        g = WeightedDigraph(2, [0, 1], [1, 0], [2.0, -2.0])
+        assert not has_negative_cycle(g)
+
+    def test_extracted_cycle_is_negative(self, rng):
+        g = grid_digraph((5, 5), rng)
+        g = g.with_extra_edges([2, 7], [7, 2], [-8.0, 1.0])
+        assert has_negative_cycle(g)
+        cyc = find_negative_cycle(g)
+        assert cyc is not None and cyc[0] == cyc[-1] and len(cyc) >= 3
+        assert cycle_weight(g, cyc) < 0
+
+    def test_cycle_in_unreachable_region_found(self):
+        # Cycle lives in a component unreachable from vertex 0.
+        g = WeightedDigraph(5, [0, 2, 3, 4], [1, 3, 4, 2], [1.0, -1.0, -1.0, -1.0])
+        assert has_negative_cycle(g)
+
+
+class TestTightEdges:
+    def test_mask_flags_shortest_edges(self, tiny_line):
+        dist = bellman_ford(tiny_line, 0)
+        mask = tight_edge_mask(tiny_line, dist)
+        assert mask.all()  # the line itself is the unique shortest path
+
+    def test_non_tight_edge_excluded(self):
+        g = WeightedDigraph(3, [0, 0, 1], [1, 2, 2], [1.0, 5.0, 1.0])
+        dist = bellman_ford(g, 0)
+        mask = tight_edge_mask(g, dist)
+        # 0->2 direct (weight 5) loses to 0->1->2 (weight 2).
+        assert mask.tolist() == [True, False, True]
+
+
+class TestShortestPathTree:
+    @pytest.mark.parametrize("negative", [False, True])
+    def test_tree_distances_match(self, rng, negative):
+        g = grid_digraph((6, 6), rng)
+        if negative:
+            g = apply_potential_weights(g, rng)
+        dist = bellman_ford(g, 0)
+        parent = shortest_path_tree(g, 0, dist)
+        assert parent[0] == -1
+        for v in range(1, g.n):
+            path = reconstruct_path(parent, 0, v)
+            assert path is not None
+            assert np.isclose(path_weight(g, path), dist[v])
+
+    def test_unreachable_has_no_parent(self, tiny_line):
+        dist = bellman_ford(tiny_line, 2)
+        parent = shortest_path_tree(tiny_line, 2, dist)
+        assert parent[0] == -1 and parent[1] == -1
+        assert reconstruct_path(parent, 2, 0) is None
+
+    def test_zero_weight_cycle_safe(self):
+        # 0->1 and a zero-weight 2-cycle 1<->2; BFS over tight edges must
+        # not loop.
+        g = WeightedDigraph(3, [0, 1, 2], [1, 2, 1], [1.0, 0.0, 0.0])
+        dist = bellman_ford(g, 0)
+        parent = shortest_path_tree(g, 0, dist)
+        p = reconstruct_path(parent, 0, 2)
+        assert p is not None and np.isclose(path_weight(g, p), 1.0)
+
+    def test_rejects_matrix_dist(self, tiny_line):
+        with pytest.raises(ValueError):
+            shortest_path_tree(tiny_line, 0, np.zeros((2, 4)))
+
+    def test_source_path_is_trivial(self, tiny_line):
+        dist = bellman_ford(tiny_line, 1)
+        parent = shortest_path_tree(tiny_line, 1, dist)
+        assert reconstruct_path(parent, 1, 1) == [1]
+
+
+class TestPathWeight:
+    def test_missing_edge_raises(self, tiny_line):
+        with pytest.raises(KeyError):
+            path_weight(tiny_line, [0, 2])
+
+    def test_uses_min_parallel(self):
+        g = WeightedDigraph(2, [0, 0], [1, 1], [5.0, 2.0])
+        assert path_weight(g, [0, 1]) == 2.0

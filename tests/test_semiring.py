@@ -1,0 +1,92 @@
+"""Unit + property tests for the semiring framework."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.semiring import BOOLEAN, COUNTING_HOPS, MAX_MIN, MIN_MAX, MIN_PLUS, SEMIRINGS
+
+ALL = [MIN_PLUS, BOOLEAN, MAX_MIN, MIN_MAX, COUNTING_HOPS]
+
+
+@pytest.mark.parametrize("sr", ALL, ids=lambda s: s.name)
+def test_identity_matrix(sr):
+    m = sr.identity_matrix(3)
+    assert m.dtype == sr.dtype
+    assert (np.diag(m) == sr.one).all()
+    off = m[~np.eye(3, dtype=bool)]
+    assert (off == sr.zero).all()
+
+
+@pytest.mark.parametrize("sr", ALL, ids=lambda s: s.name)
+def test_registered(sr):
+    assert SEMIRINGS[sr.name] is sr
+
+
+def test_min_plus_ops():
+    a = np.array([1.0, np.inf])
+    b = np.array([2.0, 3.0])
+    assert MIN_PLUS.add(a, b).tolist() == [1.0, 3.0]
+    assert MIN_PLUS.mul(a, b).tolist() == [3.0, np.inf]
+    assert MIN_PLUS.improves(np.array([1.0]), np.array([2.0])).all()
+    assert not MIN_PLUS.improves(np.array([2.0]), np.array([2.0])).any()
+
+
+def test_boolean_ops():
+    a = np.array([True, False])
+    b = np.array([False, False])
+    assert BOOLEAN.add(a, b).tolist() == [True, False]
+    assert BOOLEAN.mul(a, np.array([True, True])).tolist() == [True, False]
+    # True improves on False, nothing improves on True.
+    assert BOOLEAN.improves(a, b).tolist() == [True, False]
+
+
+def test_max_min_ops():
+    a = np.array([3.0])
+    b = np.array([5.0])
+    assert MAX_MIN.add(a, b)[0] == 5.0  # wider is better
+    assert MAX_MIN.mul(a, b)[0] == 3.0  # bottleneck of a path
+    assert MAX_MIN.improves(b, a).all()
+
+
+def test_scatter_min_duplicates():
+    t = np.full(3, np.inf)
+    MIN_PLUS.scatter_min(t, np.array([1, 1, 2]), np.array([5.0, 3.0, 7.0]))
+    assert t.tolist() == [np.inf, 3.0, 7.0]
+
+
+def test_scatter_boolean():
+    t = np.zeros(3, dtype=bool)
+    BOOLEAN.scatter_min(t, np.array([0, 0]), np.array([True, False]))
+    assert t.tolist() == [True, False, False]
+
+
+@st.composite
+def float_triples(draw):
+    # Dyadic rationals: exact under float addition, so the ⊗-associativity
+    # axiom holds without an epsilon.
+    f = st.integers(min_value=-800, max_value=800).map(lambda k: k / 8.0)
+    return draw(f), draw(f), draw(f)
+
+
+@settings(max_examples=200, deadline=None)
+@given(float_triples())
+@pytest.mark.parametrize("sr", [MIN_PLUS, MAX_MIN, MIN_MAX], ids=lambda s: s.name)
+def test_semiring_axioms(sr, triple):
+    """⊕/⊗ associativity, commutative ⊕, distributivity, identities,
+    idempotence — on scalars (wrapped in 0-d arrays)."""
+    a, b, c = (np.float64(x) for x in triple)
+    add, mul = sr.add, sr.mul
+    assert add(add(a, b), c) == add(a, add(b, c))
+    assert add(a, b) == add(b, a)
+    assert mul(mul(a, b), c) == mul(a, mul(b, c))
+    assert add(a, a) == a  # idempotent
+    assert add(a, np.float64(sr.zero)) == a
+    assert mul(a, np.float64(sr.one)) == a
+    # Distributivity: a ⊗ (b ⊕ c) = (a ⊗ b) ⊕ (a ⊗ c)
+    assert mul(a, add(b, c)) == add(mul(a, b), mul(a, c))
+
+
+def test_zero_annihilates_min_plus():
+    assert MIN_PLUS.mul(np.float64(np.inf), np.float64(5.0)) == np.inf

@@ -1,0 +1,107 @@
+"""Tests for the right-shortcut machinery of Theorem 3.1's proof (Fig. 2),
+including property-based checks over arbitrary level sequences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.shortcuts import is_bitonic_with_pairs, right_shortcut, shortcut_chain
+
+
+class TestRightShortcut:
+    def test_rule_i_same_level_plateau(self):
+        # levels: 2 3 2 — rule (i): furthest same-level with no dip.
+        assert right_shortcut(np.array([2, 3, 2]), 0) == 2
+
+    def test_rule_i_takes_furthest(self):
+        assert right_shortcut(np.array([1, 2, 1, 3, 1, 0]), 0) == 4
+
+    def test_rule_ii_first_drop(self):
+        # No same-level repetition; next lower level is the shortcut.
+        assert right_shortcut(np.array([2, 3, 1]), 0) == 2
+
+    def test_rule_iii_rise(self):
+        # All later levels higher: rise to the furthest valid target.
+        assert right_shortcut(np.array([0, 3, 2]), 0) == 2
+
+    def test_undefined_treated_as_infinity(self):
+        # -1 (undefined) never blocks a plateau.
+        assert right_shortcut(np.array([2, -1, 2]), 0) == 2
+
+    def test_requires_labeled_start(self):
+        with pytest.raises(ValueError):
+            right_shortcut(np.array([-1, 2]), 0)
+
+
+class TestChain:
+    def test_empty_when_unlabeled(self):
+        assert shortcut_chain(np.array([-1, -1])) == []
+
+    def test_single_label(self):
+        assert shortcut_chain(np.array([-1, 3, -1])) == [1]
+
+    def test_descend_then_ascend(self):
+        levels = np.array([3, 2, 1, 0, 1, 2, 3])
+        chain = shortcut_chain(levels)
+        assert chain[0] == 0 and chain[-1] == 6
+        assert is_bitonic_with_pairs([levels[i] for i in chain])
+
+    def test_monotone_descent(self):
+        levels = np.array([5, 4, 3, 2, 1, 0])
+        chain = shortcut_chain(levels)
+        assert chain == [0, 1, 2, 3, 4, 5]
+
+    def test_bound_on_grid_walk(self, grid7):
+        g, tree = grid7
+        rng = np.random.default_rng(5)
+        # Random walks through the grid.
+        for _ in range(20):
+            walk = [int(rng.integers(g.n))]
+            adj = g.out_adj
+            for _ in range(40):
+                nbrs = adj.neighbors(walk[-1])
+                if nbrs.size == 0:
+                    break
+                walk.append(int(nbrs[rng.integers(nbrs.size)]))
+            levels = tree.vertex_level[np.array(walk)]
+            chain = shortcut_chain(levels)
+            if not chain:
+                continue
+            assert len(chain) - 1 <= 4 * tree.height + 1
+            assert is_bitonic_with_pairs([levels[i] for i in chain])
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.lists(st.integers(min_value=-1, max_value=6), min_size=1, max_size=40))
+def test_chain_properties_hold_for_any_level_sequence(levels):
+    """For every level sequence (with d_G = max level): the chain exists,
+    progresses strictly, ends at the last labeled index, is bitonic with
+    ≤2-runs, and obeys the 4·d_G + 1 length bound."""
+    arr = np.array(levels)
+    chain = shortcut_chain(arr)
+    labeled = np.nonzero(arr >= 0)[0]
+    if labeled.size == 0:
+        assert chain == []
+        return
+    assert chain[0] == labeled[0] and chain[-1] == labeled[-1]
+    assert all(a < b for a, b in zip(chain, chain[1:]))
+    chain_levels = [int(arr[i]) for i in chain]
+    assert is_bitonic_with_pairs(chain_levels)
+    d_g = int(arr.max())
+    assert len(chain) - 1 <= 4 * d_g + 1
+
+
+class TestBitonicChecker:
+    def test_accepts_valley(self):
+        assert is_bitonic_with_pairs([3, 2, 2, 1, 1, 2, 3])
+
+    def test_rejects_three_run(self):
+        assert not is_bitonic_with_pairs([2, 2, 2])
+
+    def test_rejects_second_descent(self):
+        assert not is_bitonic_with_pairs([2, 1, 2, 1])
+
+    def test_empty_and_single(self):
+        assert is_bitonic_with_pairs([])
+        assert is_bitonic_with_pairs([5])

@@ -1,0 +1,84 @@
+"""Tests for the separator-programmable synthetic family."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.leaves_up import augment_leaves_up
+from repro.core.sssp import measured_diameter, sssp_scheduled
+from repro.separators.quality import assess
+from repro.workloads.synthetic import separator_programmable_family
+from tests.conftest import assert_distances_equal, reference_apsp
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("mu", [0.0, 1 / 3, 0.5, 0.75])
+    def test_tree_is_valid_decomposition(self, rng, mu):
+        g, tree = separator_programmable_family(250, mu, rng)
+        tree.validate(g)
+
+    @pytest.mark.parametrize("mu", [0.2, 1 / 3, 0.5, 0.7])
+    def test_measured_mu_tracks_programmed(self, rng, mu):
+        g, tree = separator_programmable_family(600, mu, rng)
+        q = assess(tree)
+        assert abs(q.mu_hat - mu) < 0.12, q.summary()
+
+    def test_separator_sizes_formula(self, rng):
+        g, tree = separator_programmable_family(400, 0.5, rng)
+        for t in tree.nodes:
+            if t.is_leaf:
+                continue
+            k = t.size
+            assert t.separator.shape[0] == min(k - 2, max(1, int(round(k ** 0.5))))
+
+    def test_rejects_bad_mu(self, rng):
+        with pytest.raises(ValueError):
+            separator_programmable_family(100, 1.0, rng)
+        with pytest.raises(ValueError):
+            separator_programmable_family(0, 0.5, rng)
+
+    def test_connected_enough(self, rng):
+        """The leaf spanning structure plus boundary hooks keeps most of
+        the graph mutually reachable."""
+        g, tree = separator_programmable_family(300, 0.5, rng)
+        ref = reference_apsp(g)
+        assert np.isfinite(ref).mean() > 0.9
+
+
+class TestPipeline:
+    @pytest.mark.parametrize("mu", [0.0, 1 / 3, 0.5, 0.75])
+    def test_distances_exact(self, rng, mu):
+        g, tree = separator_programmable_family(200, mu, rng)
+        aug = augment_leaves_up(g, tree, keep_node_distances=False)
+        got = sssp_scheduled(aug, list(range(0, g.n, 17)))
+        ref = reference_apsp(g)[list(range(0, g.n, 17))]
+        assert_distances_equal(got, ref)
+
+    @pytest.mark.parametrize("mu", [1 / 3, 0.6])
+    def test_diameter_bound(self, rng, mu):
+        g, tree = separator_programmable_family(200, mu, rng)
+        aug = augment_leaves_up(g, tree, keep_node_distances=False)
+        assert measured_diameter(aug) <= aug.diameter_bound
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.integers(min_value=20, max_value=200),
+    st.floats(min_value=0.0, max_value=0.85),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_family_property(n, mu, seed):
+    """For any (n, μ, seed): the emitted tree validates against the emitted
+    graph and the pipeline answers one source exactly."""
+    from repro.kernels.floyd_warshall import floyd_warshall
+
+    rng = np.random.default_rng(seed)
+    g, tree = separator_programmable_family(n, mu, rng)
+    tree.validate(g)
+    aug = augment_leaves_up(g, tree, keep_node_distances=False)
+    got = sssp_scheduled(aug, 0)
+    ref = floyd_warshall(g.dense_weights())[0]
+    both_inf = np.isinf(got) & np.isinf(ref)
+    assert (both_inf | np.isclose(got, ref)).all()

@@ -1,0 +1,135 @@
+"""Tests for the two-variable linear-inequality application (paper §1,
+Cohen–Megiddo)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.tvpi import (
+    DifferenceConstraint,
+    UTVPIConstraint,
+    difference_graph,
+    double_tree,
+    interaction_graph,
+    solve_difference_system,
+    solve_utvpi_system,
+    utvpi_graph,
+)
+from repro.core.negcycle import cycle_weight
+from repro.separators.spectral import decompose_spectral
+
+
+def grid_difference_system(side, rng, lo=0.5, hi=2.0):
+    cons = []
+    for r in range(side):
+        for c in range(side):
+            v = r * side + c
+            for w in ((v, v + 1) if c + 1 < side else ()) , ((v, v + side) if r + 1 < side else ()):
+                if w:
+                    a, b = w
+                    cons.append(DifferenceConstraint(a, b, float(rng.uniform(lo, hi))))
+                    cons.append(DifferenceConstraint(b, a, float(rng.uniform(lo, hi))))
+    return side * side, cons
+
+
+class TestDifference:
+    def test_feasible_solution_satisfies_all(self, rng):
+        n, cons = grid_difference_system(6, rng)
+        res = solve_difference_system(n, cons)
+        assert res.feasible
+        assert res.check(cons)
+
+    def test_infeasible_certificate(self, rng):
+        n, cons = grid_difference_system(4, rng)
+        cons = cons + [DifferenceConstraint(0, 1, -9.0), DifferenceConstraint(1, 0, -9.0)]
+        res = solve_difference_system(n, cons)
+        assert not res.feasible and res.solution is None
+        g = difference_graph(n, cons)
+        assert cycle_weight(g, res.certificate) < 0
+
+    def test_tight_chain(self):
+        # x1 <= x0 + 1, x2 <= x1 + 1, x0 <= x2 - 2 forces equality: feasible.
+        cons = [
+            DifferenceConstraint(0, 1, 1.0),
+            DifferenceConstraint(1, 2, 1.0),
+            DifferenceConstraint(2, 0, -2.0),
+        ]
+        res = solve_difference_system(3, cons)
+        assert res.feasible and res.check(cons)
+        x = res.solution
+        assert np.isclose(x[1] - x[0], 1.0) and np.isclose(x[2] - x[1], 1.0)
+
+    def test_barely_infeasible(self):
+        cons = [
+            DifferenceConstraint(0, 1, 1.0),
+            DifferenceConstraint(1, 0, -1.5),
+        ]
+        assert not solve_difference_system(2, cons).feasible
+
+    def test_with_explicit_tree(self, rng):
+        n, cons = grid_difference_system(5, rng)
+        g = difference_graph(n, cons)
+        tree = decompose_spectral(g, leaf_size=4)
+        res = solve_difference_system(n, cons, tree)
+        assert res.feasible and res.check(cons)
+
+
+class TestUTVPI:
+    def test_mixed_system(self):
+        cons = [
+            UTVPIConstraint(1, 0, 1, 1, 4.0),     # x0 + x1 <= 4
+            UTVPIConstraint(-1, 0, -1, 1, -4.0),  # x0 + x1 >= 4 (tight)
+            UTVPIConstraint(1, 0, -1, 1, 0.0),    # x0 <= x1
+            UTVPIConstraint(-1, 0, 1, 1, 0.0),    # x1 <= x0
+        ]
+        res = solve_utvpi_system(2, cons)
+        assert res.feasible and res.check(cons)
+        assert np.isclose(res.solution[0] + res.solution[1], 4.0)
+        assert np.isclose(res.solution[0], res.solution[1])
+
+    def test_unary_bounds(self):
+        cons = [
+            UTVPIConstraint(1, 0, 0, -1, 3.0),   # x0 <= 3
+            UTVPIConstraint(-1, 0, 0, -1, -3.0), # x0 >= 3
+        ]
+        res = solve_utvpi_system(1, cons)
+        assert res.feasible and np.isclose(res.solution[0], 3.0)
+
+    def test_infeasible_sum(self):
+        cons = [
+            UTVPIConstraint(1, 0, 1, 1, 1.0),
+            UTVPIConstraint(-1, 0, 0, -1, -1.0),  # x0 >= 1
+            UTVPIConstraint(-1, 1, 0, -1, -1.0),  # x1 >= 1
+        ]
+        res = solve_utvpi_system(2, cons)
+        assert not res.feasible
+
+    def test_invalid_coefficients_raise(self):
+        with pytest.raises(ValueError):
+            UTVPIConstraint(2, 0, 1, 1, 0.0)
+        with pytest.raises(ValueError):
+            UTVPIConstraint(1, 0, 3, 1, 0.0)
+
+    def test_doubled_graph_structure(self):
+        cons = [UTVPIConstraint(1, 0, 1, 1, 2.0)]
+        g = utvpi_graph(2, cons)
+        assert g.n == 4 and g.m == 2
+
+    def test_double_tree_valid(self, rng):
+        n, cons = grid_difference_system(4, rng)
+        base = interaction_graph(n, cons)
+        tree = decompose_spectral(base, leaf_size=4)
+        lifted = double_tree(tree)
+        assert lifted.n == 2 * tree.n
+        assert lifted.height == tree.height
+        # Lifted tree is structurally valid for the doubled UTVPI graph of a
+        # same-interaction system.
+        ucons = [UTVPIConstraint(1, c.i, -1, c.j, c.c) for c in cons]
+        ug = utvpi_graph(n, ucons)
+        lifted.validate(ug)
+
+
+class TestInteractionGraph:
+    def test_skips_unary(self):
+        cons = [UTVPIConstraint(1, 0, 0, -1, 1.0), UTVPIConstraint(1, 0, 1, 1, 1.0)]
+        g = interaction_graph(2, cons)
+        assert g.m == 2  # one undirected pair, both orientations

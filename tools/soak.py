@@ -1,0 +1,99 @@
+"""Soak fuzzer: thousands of randomized end-to-end cases beyond the unit
+suites' hypothesis budgets.  Exits nonzero on the first counterexample.
+
+Usage: python tools/soak.py [iterations] [base_seed]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core.digraph import WeightedDigraph
+from repro.core.doubling import augment_doubling
+from repro.core.doubling_shared import augment_doubling_shared
+from repro.core.leaves_up import augment_leaves_up
+from repro.core.shortcuts import is_bitonic_with_pairs, shortcut_chain
+from repro.core.sssp import measured_diameter, sssp_scheduled
+from repro.core.witnesses import WitnessOracle
+from repro.core.paths import path_weight
+from repro.kernels.floyd_warshall import floyd_warshall
+from repro.separators.spectral import decompose_spectral
+from repro.workloads.synthetic import separator_programmable_family
+
+BUILDERS = [augment_leaves_up, augment_doubling, augment_doubling_shared]
+
+
+def random_graph(rng):
+    n = int(rng.integers(2, 40))
+    m = int(rng.integers(0, 5 * n))
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    keep = src != dst
+    w = rng.uniform(0.1, 9.0, size=int(keep.sum()))
+    g = WeightedDigraph(n, src[keep], dst[keep], w)
+    if rng.uniform() < 0.5:
+        p = rng.uniform(0, 5, size=n)
+        g = WeightedDigraph(n, g.src, g.dst, g.weight + p[g.src] - p[g.dst])
+    return g
+
+
+def one_case(i, rng):
+    kind = i % 4
+    if kind == 0:  # random digraph through every builder
+        g = random_graph(rng)
+        tree = decompose_spectral(g, leaf_size=int(rng.integers(2, 7)))
+        tree.validate(g)
+        ref = floyd_warshall(g.dense_weights())
+        for build in BUILDERS:
+            aug = build(g, tree, keep_node_distances=False)
+            got = sssp_scheduled(aug, list(range(g.n)))
+            both_inf = np.isinf(got) & np.isinf(ref)
+            assert (both_inf | np.isclose(got, ref, atol=1e-8)).all(), build.__name__
+            assert measured_diameter(aug) <= aug.diameter_bound, build.__name__
+    elif kind == 1:  # synthetic family at random mu
+        mu = float(rng.uniform(0, 0.85))
+        g, tree = separator_programmable_family(int(rng.integers(20, 150)), mu, rng)
+        tree.validate(g)
+        aug = augment_leaves_up(g, tree, keep_node_distances=False)
+        got = sssp_scheduled(aug, 0)
+        ref = floyd_warshall(g.dense_weights())[0]
+        both_inf = np.isinf(got) & np.isinf(ref)
+        assert (both_inf | np.isclose(got, ref)).all()
+    elif kind == 2:  # witness paths
+        g = random_graph(rng)
+        tree = decompose_spectral(g, leaf_size=4)
+        oracle = WitnessOracle(g, tree)
+        ref = floyd_warshall(g.dense_weights())
+        for _ in range(10):
+            u, v = int(rng.integers(g.n)), int(rng.integers(g.n))
+            p = oracle.path(u, v)
+            if np.isinf(ref[u, v]):
+                assert p is None
+            else:
+                assert abs(path_weight(g, p) - ref[u, v]) < 1e-8
+    else:  # shortcut chain lemma on random levels
+        levels = rng.integers(-1, 8, size=int(rng.integers(1, 60)))
+        chain = shortcut_chain(levels)
+        if chain:
+            assert is_bitonic_with_pairs([int(levels[j]) for j in chain])
+            d = int(levels.max())
+            assert len(chain) - 1 <= 4 * max(d, 0) + 1
+
+
+def main():
+    iterations = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+    base = int(sys.argv[2]) if len(sys.argv) > 2 else 0
+    for i in range(iterations):
+        rng = np.random.default_rng(base + i)
+        try:
+            one_case(i, rng)
+        except Exception:
+            print(f"COUNTEREXAMPLE at iteration {i} (seed {base + i})")
+            raise
+        if (i + 1) % 50 == 0:
+            print(f"{i + 1}/{iterations} ok", flush=True)
+    print("SOAK PASSED")
+
+
+if __name__ == "__main__":
+    main()
