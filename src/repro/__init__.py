@@ -29,6 +29,7 @@ from .core.doubling_shared import augment_doubling_shared
 from .core.leaves_up import augment_leaves_up
 from .core.negcycle import find_negative_cycle, has_negative_cycle
 from .core.paths import reconstruct_path, shortest_path_tree
+from .core.query import QueryEngine
 from .core.reach import reachability_augmentation, reachable_from, transitive_closure
 from .core.scheduler import PhaseSchedule, build_schedule
 from .core.semiring import BOOLEAN, MAX_MIN, MIN_MAX, MIN_PLUS, SEMIRINGS, Semiring
@@ -62,6 +63,7 @@ __all__ = [
     "build_schedule",
     "sssp_naive",
     "sssp_scheduled",
+    "QueryEngine",
     "measured_diameter",
     "WitnessOracle",
     "ValidationReport",

@@ -6,6 +6,9 @@ Subcommands
 ``fig2``    regenerate Figure 2 (level-labeled path + right shortcuts)
 ``stats``   build the oracle on a generated workload and print its numbers
 ``table1``  quick Table-1-style sweep (ledger work vs n, fitted exponents)
+``query``   serve batched multi-source queries via the persistent engine
+``selftest`` end-to-end install verification against independent baselines
+``report``  aggregate benchmark results into one document
 """
 
 from __future__ import annotations
@@ -156,6 +159,53 @@ def _cmd_table1(args) -> int:
     return 0
 
 
+def _cmd_query(args) -> int:
+    """Serve batched multi-source queries through the persistent
+    :class:`~repro.core.query.QueryEngine` and report throughput."""
+    import time
+
+    from .core.api import ShortestPathOracle
+    from .separators.grid import decompose_grid
+    from .workloads.generators import delaunay_digraph, grid_digraph
+
+    rng = np.random.default_rng(args.seed)
+    if args.family == "grid":
+        side = int(round(np.sqrt(args.n)))
+        g = grid_digraph((side, side), rng)
+        tree = decompose_grid(g, (side, side), leaf_size=args.leaf_size)
+    else:
+        g, _ = delaunay_digraph(args.n, rng)
+        from .separators.planar import decompose_planar
+
+        tree = decompose_planar(g, leaf_size=args.leaf_size)
+    t0 = time.perf_counter()
+    oracle = ShortestPathOracle.build(g, tree, method=args.method)
+    build_s = time.perf_counter() - t0
+    print(f"built oracle: n={g.n} m={g.m} |E+|={oracle.augmentation.size} "
+          f"({build_s:.3f}s)")
+    batches = [
+        rng.integers(0, g.n, size=args.sources) for _ in range(args.batches)
+    ]
+    with oracle.query_engine(executor=args.backend, engine=args.engine) as eng:
+        t0 = time.perf_counter()
+        dists = [eng.query(b) for b in batches]
+        serve_s = time.perf_counter() - t0
+        stats = eng.stats()
+    rows = sum(d.shape[0] for d in dists)
+    finite = float(np.mean([np.isfinite(d).mean() for d in dists]))
+    print(f"served {stats['queries_served']} batches / {rows} source rows on "
+          f"backend={stats['backend']}:{stats['workers']} engine={stats['engine']} "
+          f"in {serve_s:.3f}s ({rows / max(serve_s, 1e-9):.1f} rows/s)")
+    print(f"shared bytes published once: {stats['shared_bytes']}; "
+          f"finite distance fraction {finite:.3f}")
+    if args.check:
+        want = oracle.distances(batches[0], engine=args.engine)
+        same = np.array_equal(want, dists[0])
+        print(f"bit-identical to serial {args.engine} pass: {same}")
+        return 0 if same else 1
+    return 0
+
+
 def _cmd_selftest(args) -> int:
     """End-to-end self-verification on randomized workloads: builds the full
     pipeline across families/methods and cross-checks against independent
@@ -255,6 +305,23 @@ def main(argv: list[str] | None = None) -> int:
     p4.add_argument("--leaf-size", dest="leaf_size", type=int, default=8)
     p4.add_argument("--seed", type=int, default=0)
     p4.set_defaults(fn=_cmd_table1)
+
+    p7 = sub.add_parser("query", help="serve batched queries via the persistent engine")
+    p7.add_argument("--family", choices=["grid", "delaunay"], default="grid")
+    p7.add_argument("--n", type=int, default=1024)
+    p7.add_argument("--sources", type=int, default=64, help="sources per batch")
+    p7.add_argument("--batches", type=int, default=4)
+    p7.add_argument("--backend", default="shm",
+                    help="executor spec: serial | thread[:N] | process[:N] | shm[:N]")
+    p7.add_argument("--engine", choices=["scheduled", "naive"], default="scheduled")
+    p7.add_argument("--method",
+                    choices=["leaves_up", "doubling", "doubling_shared"],
+                    default="leaves_up")
+    p7.add_argument("--leaf-size", dest="leaf_size", type=int, default=8)
+    p7.add_argument("--seed", type=int, default=0)
+    p7.add_argument("--check", action="store_true",
+                    help="verify the first batch bit-equals a serial pass")
+    p7.set_defaults(fn=_cmd_query)
 
     p6 = sub.add_parser("selftest", help="end-to-end install verification")
     p6.add_argument("--seed", type=int, default=0)

@@ -27,7 +27,7 @@ from .doubling import augment_doubling
 from .leaves_up import augment_leaves_up
 from .negcycle import has_negative_cycle
 from .paths import reconstruct_path, shortest_path_tree
-from .scheduler import PhaseSchedule, build_schedule
+from .scheduler import PhaseSchedule
 from .semiring import MIN_PLUS, Semiring
 from .septree import SeparatorTree, build_separator_tree
 from .sssp import measured_diameter, sssp_naive, sssp_scheduled
@@ -139,8 +139,7 @@ class ShortestPathOracle:
             ledger=ledger,
             keep_node_distances=keep_node_distances,
         )
-        schedule = build_schedule(aug)
-        return cls(graph, tree, aug, schedule, preprocess_ledger=ledger)
+        return cls(graph, tree, aug, aug.schedule(), preprocess_ledger=ledger)
 
     # -------------------------------------------------------------- #
     # Queries
@@ -165,6 +164,27 @@ class ShortestPathOracle:
         if engine == "naive":
             return sssp_naive(self.augmentation, sources, ledger=self.query_ledger)
         raise ValueError("engine must be 'scheduled' or 'naive'")
+
+    def query_engine(
+        self,
+        *,
+        executor="shm",
+        engine: str = "scheduled",
+        source_block: int | None = None,
+    ):
+        """A persistent :class:`~repro.core.query.QueryEngine` over this
+        oracle's augmentation.
+
+        The engine reuses the oracle's cached G⁺ / relaxer / schedule and
+        (on the default ``"shm"`` backend) publishes the compiled phase
+        arrays to shared memory once, so every subsequent batched query
+        ships only row-range descriptors to a warm worker pool.  Close it
+        (or use it as a context manager) when done serving.
+        """
+        from .query import QueryEngine
+
+        kwargs = {} if source_block is None else {"source_block": source_block}
+        return QueryEngine(self.augmentation, executor=executor, engine=engine, **kwargs)
 
     def distance(self, u: int, v: int) -> float:
         """Exact ``dist_G(u, v)`` (one scheduled pass from ``u``)."""
@@ -281,7 +301,7 @@ class ShortestPathOracle:
 
         aug = load_augmentation(path)
         return cls(
-            aug.graph, aug.tree, aug, build_schedule(aug), preprocess_ledger=Ledger()
+            aug.graph, aug.tree, aug, aug.schedule(), preprocess_ledger=Ledger()
         )
 
     def check_no_negative_cycle(self) -> bool:

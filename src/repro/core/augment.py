@@ -80,6 +80,13 @@ class Augmentation:
     leaf_diameters: dict[int, int]
     node_distances: dict[int, NodeDistances] = field(default_factory=dict)
     method: str = ""
+    # Query-path caches: G⁺, its full-edge relaxer and the §3.2 schedule are
+    # pure functions of the fields above and expensive to rebuild, so they
+    # are constructed at most once per augmentation (every query used to
+    # rebuild all three — serialization+setup dominated light query loads).
+    _gplus: object = field(default=None, init=False, repr=False, compare=False)
+    _relaxer: object = field(default=None, init=False, repr=False, compare=False)
+    _schedule: object = field(default=None, init=False, repr=False, compare=False)
 
     @property
     def size(self) -> int:
@@ -96,8 +103,29 @@ class Augmentation:
         return 4 * self.tree.height + 2 * self.ell + 1
 
     def augmented_graph(self) -> WeightedDigraph:
-        """``G⁺ = (V, E ∪ E⁺)``."""
-        return self.graph.with_extra_edges(self.src, self.dst, self.weight)
+        """``G⁺ = (V, E ∪ E⁺)`` (built once, then cached)."""
+        if self._gplus is None:
+            self._gplus = self.graph.with_extra_edges(self.src, self.dst, self.weight)
+        return self._gplus
+
+    def relaxer(self):
+        """Full-edge-set :class:`~repro.kernels.bellman_ford.EdgeRelaxer`
+        over G⁺ (built once, then cached — the dst-sorted permutation is the
+        expensive part of every naive query)."""
+        if self._relaxer is None:
+            from ..kernels.bellman_ford import EdgeRelaxer  # local: avoids cycle
+
+            self._relaxer = EdgeRelaxer.from_graph(self.augmented_graph(), self.semiring)
+        return self._relaxer
+
+    def schedule(self):
+        """The §3.2 :class:`~repro.core.scheduler.PhaseSchedule` for this
+        augmentation (compiled once, then cached)."""
+        if self._schedule is None:
+            from .scheduler import build_schedule  # local: avoids import cycle
+
+            self._schedule = build_schedule(self)
+        return self._schedule
 
     def combined_edges(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """``(src, dst, weight, is_augmented)`` over ``E ∪ E⁺``."""

@@ -35,7 +35,7 @@ from .augment import (
     assemble_augmentation,
 )
 from .digraph import WeightedDigraph
-from .leaves_up import _check_diagonal, _leaf_worker
+from .leaves_up import _check_diagonal, _leaf_payload, _leaf_worker
 from .semiring import MIN_PLUS, SEMIRINGS, Semiring
 from .septree import SeparatorTree
 
@@ -43,20 +43,29 @@ __all__ = ["augment_doubling"]
 
 
 def _square_worker(payload: dict[str, Any]) -> dict[str, Any]:
-    """One doubling step on one node's matrix (module level for pickling)."""
+    """One doubling step on one node's matrix (module level for pickling).
+
+    With ``inplace`` set the matrix is a shared-memory view owned solely by
+    this node: the squared result is written back through it and the reply
+    carries only scalars (the shm backend's zero-copy round).
+    """
     semiring = SEMIRINGS[payload["semiring"]]
     ledger = Ledger()
     w = payload["matrix"]
     prod = semiring_matmul(w, w, semiring, ledger=ledger)
     new = semiring.add(w, prod)
     changed = bool(semiring.improves(new, w).any())
-    return {
+    out = {
         "idx": payload["idx"],
-        "matrix": new,
         "changed": changed,
         "work": ledger.work,
         "depth": ledger.depth,
     }
+    if payload.get("inplace"):
+        w[...] = new
+    else:
+        out["matrix"] = new
+    return out
 
 
 def augment_doubling(
@@ -70,27 +79,56 @@ def augment_doubling(
     raise_on_negative_cycle: bool = True,
     early_stop: bool = True,
 ) -> Augmentation:
-    """Compute the augmentation with Algorithm 4.3."""
+    """Compute the augmentation with Algorithm 4.3.
+
+    On the ``shm`` backend every node matrix is a shared-memory block:
+    rounds send (idx, descriptor) pairs, workers square their block in
+    place, and the orchestrator's child→parent merges mutate the same
+    pages — matrices cross the process boundary zero times.
+    """
     exe = get_executor(executor)
     owns_executor = isinstance(executor, str) and not isinstance(exe, SerialExecutor)
+    use_shm = getattr(exe, "uses_shared_memory", False)
+    arena = None
+    if use_shm:
+        from ..pram.shm import ShmArena
+
+        arena = ShmArena()
     matrices: dict[int, np.ndarray] = {}
+    mat_refs: dict[int, Any] = {}
     vh_of: dict[int, np.ndarray] = {}
     leaf_results: dict[int, NodeDistances] = {}
     leaf_diameters: dict[int, int] = {}
     try:
-        _initialize(graph, tree, semiring, exe, ledger, matrices, vh_of, leaf_results, leaf_diameters)
+        _initialize(
+            graph, tree, semiring, exe, ledger,
+            matrices, vh_of, leaf_results, leaf_diameters,
+            arena=arena, mat_refs=mat_refs,
+        )
         rounds = 2 * max(1, int(np.ceil(np.log2(max(2, graph.n))))) + 2 * tree.height
         internal = [t for t in tree.nodes if not t.is_leaf]
         for _ in range(rounds):
-            payloads = [
-                {"idx": t.idx, "semiring": semiring.name, "matrix": matrices[t.idx]}
-                for t in internal
-            ]
+            if use_shm:
+                payloads = [
+                    {
+                        "idx": t.idx,
+                        "semiring": semiring.name,
+                        "matrix": mat_refs[t.idx],
+                        "inplace": True,
+                    }
+                    for t in internal
+                ]
+            else:
+                payloads = [
+                    {"idx": t.idx, "semiring": semiring.name, "matrix": matrices[t.idx]}
+                    for t in internal
+                ]
             outs = exe.map(_square_worker, payloads)
             changed = False
             branches = []
             for out in outs:
-                matrices[out["idx"]] = out["matrix"]
+                if "matrix" in out:
+                    matrices[out["idx"]] = out["matrix"]
                 changed |= out["changed"]
                 b = Ledger()
                 b.charge(out["work"], out["depth"], label="node")
@@ -101,28 +139,35 @@ def augment_doubling(
             changed |= merge_changed
             if early_stop and not changed:
                 break
+        results: dict[int, NodeDistances] = dict(leaf_results)
+        for t in tree.nodes:
+            if t.is_leaf:
+                continue
+            m = matrices[t.idx]
+            bad = _check_diagonal(m, vh_of[t.idx], semiring)
+            if bad >= 0 and raise_on_negative_cycle and semiring.name in ("min-plus", "hops"):
+                raise NegativeCycleDetected(t.idx, bad)
+            results[t.idx] = NodeDistances(node_idx=t.idx, vertices=vh_of[t.idx], matrix=m)
+        if use_shm and keep_node_distances:
+            # The arena dies with this call; surviving matrices need to own
+            # their memory.
+            for nd in results.values():
+                nd.matrix = np.array(nd.matrix, copy=True)
+        return assemble_augmentation(
+            graph,
+            tree,
+            results,
+            leaf_diameters,
+            semiring,
+            method="doubling",
+            keep_node_distances=keep_node_distances,
+            ledger=ledger,
+        )
     finally:
+        if arena is not None:
+            arena.close()
         if owns_executor:
             exe.close()
-    results: dict[int, NodeDistances] = dict(leaf_results)
-    for t in tree.nodes:
-        if t.is_leaf:
-            continue
-        m = matrices[t.idx]
-        bad = _check_diagonal(m, vh_of[t.idx], semiring)
-        if bad >= 0 and raise_on_negative_cycle and semiring.name in ("min-plus", "hops"):
-            raise NegativeCycleDetected(t.idx, bad)
-        results[t.idx] = NodeDistances(node_idx=t.idx, vertices=vh_of[t.idx], matrix=m)
-    return assemble_augmentation(
-        graph,
-        tree,
-        results,
-        leaf_diameters,
-        semiring,
-        method="doubling",
-        keep_node_distances=keep_node_distances,
-        ledger=ledger,
-    )
 
 
 def _initialize(
@@ -135,29 +180,34 @@ def _initialize(
     vh_of: dict[int, np.ndarray],
     leaf_results: dict[int, NodeDistances],
     leaf_diameters: dict[int, int],
+    *,
+    arena=None,
+    mat_refs: dict[int, Any] | None = None,
 ) -> None:
-    """Step (i): leaf APSPs (in parallel) and internal one-hop matrices."""
+    """Step (i): leaf APSPs (in parallel) and internal one-hop matrices.
+
+    With an arena, internal matrices are allocated as shared blocks (filled
+    in place here) and leaf payloads/results travel as descriptors."""
     leaf_payloads = []
+    leaf_views: dict[int, np.ndarray] = {}
+    leaf_verts: dict[int, np.ndarray] = {}
     for t in tree.nodes:
         if t.is_leaf:
-            sub, mapping = graph.induced_subgraph(t.vertices)
-            leaf_payloads.append(
-                {
-                    "kind": "leaf",
-                    "idx": t.idx,
-                    "semiring": semiring.name,
-                    "vertices": mapping,
-                    "n_local": sub.n,
-                    "sub_src": sub.src,
-                    "sub_dst": sub.dst,
-                    "sub_weight": sub.weight,
-                }
-            )
+            payload, mapping, out_view = _leaf_payload(graph, t, semiring, arena)
+            leaf_payloads.append(payload)
+            if arena is not None:
+                leaf_views[t.idx] = out_view
+                leaf_verts[t.idx] = mapping
         else:
             vh = np.union1d(t.separator, t.boundary)
             vh_of[t.idx] = vh
             h = vh.shape[0]
-            w = semiring.empty_matrix(h, h)
+            if arena is None:
+                w = semiring.empty_matrix(h, h)
+            else:
+                ref, w = arena.alloc((h, h), semiring.dtype)
+                mat_refs[t.idx] = ref
+                w[...] = semiring.zero
             np.fill_diagonal(w, semiring.one)
             # One-hop weights of original edges with both endpoints in V_H(t).
             member = np.zeros(graph.n, dtype=bool)
@@ -177,10 +227,13 @@ def _initialize(
     for out in outs:
         if out["neg_vertex"] >= 0 and semiring.name in ("min-plus", "hops"):
             raise NegativeCycleDetected(out["idx"], out["neg_vertex"])
-        leaf_results[out["idx"]] = NodeDistances(
-            node_idx=out["idx"], vertices=out["vertices"], matrix=out["matrix"]
+        idx = out["idx"]
+        leaf_results[idx] = NodeDistances(
+            node_idx=idx,
+            vertices=leaf_verts[idx] if arena is not None else out["vertices"],
+            matrix=leaf_views[idx] if arena is not None else out["matrix"],
         )
-        leaf_diameters[out["idx"]] = out["leaf_diameter"]
+        leaf_diameters[idx] = out["leaf_diameter"]
         b = Ledger()
         b.charge(out["work"], out["depth"], label="node")
         branches.append(b)

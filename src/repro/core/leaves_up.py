@@ -71,8 +71,56 @@ def _check_diagonal(matrix: np.ndarray, vertices: np.ndarray, semiring: Semiring
 
 
 # ------------------------------------------------------------------ #
-# Per-node workers (module level so the process backend can pickle them)
+# Per-node workers (module level so the process backends can pickle them)
+#
+# Two payload styles share these functions: the classic style carries the
+# arrays themselves (serial/thread/process), while the shm style carries
+# ArrayRef descriptors that the ShmExecutor resolves to zero-copy views
+# before dispatch, plus an ``out`` block the worker fills in place so the
+# result matrix is never pickled either (see repro.pram.shm).
 # ------------------------------------------------------------------ #
+
+
+def _leaf_payload(
+    graph: WeightedDigraph, t, semiring: Semiring, arena=None
+) -> tuple[dict[str, Any], np.ndarray, np.ndarray | None]:
+    """Build one leaf task payload; returns ``(payload, vertices, out_view)``.
+
+    With an arena, the subgraph arrays are published as descriptors and an
+    output block for the APSP matrix is pre-allocated (``out_view`` is the
+    orchestrator's view of it); without one, the arrays ride in the payload.
+    """
+    sub, mapping = graph.induced_subgraph(t.vertices)
+    payload: dict[str, Any] = {
+        "kind": "leaf",
+        "idx": t.idx,
+        "semiring": semiring.name,
+        "vertices": mapping,
+        "n_local": sub.n,
+        "sub_src": sub.src,
+        "sub_dst": sub.dst,
+        "sub_weight": sub.weight,
+    }
+    if arena is None:
+        return payload, mapping, None
+    out_ref, out_view = arena.alloc((mapping.shape[0], mapping.shape[0]), semiring.dtype)
+    payload.update(
+        vertices=arena.publish(mapping),
+        sub_src=arena.publish(sub.src),
+        sub_dst=arena.publish(sub.dst),
+        sub_weight=arena.publish(sub.weight),
+        out=out_ref,
+    )
+    return payload, mapping, out_view
+
+
+def _emit(payload: dict[str, Any], out: dict[str, Any]) -> dict[str, Any]:
+    """Return path shared by both payload styles: with an ``out`` block the
+    matrix is written in place and stripped from the (pickled) result."""
+    if "out" in payload:
+        payload["out"][...] = out.pop("matrix")
+        out.pop("vertices", None)
+    return out
 
 
 def _leaf_worker(payload: dict[str, Any]) -> dict[str, Any]:
@@ -93,7 +141,7 @@ def _leaf_worker(payload: dict[str, Any]) -> dict[str, Any]:
         bad = _check_diagonal(apsp, payload["vertices"], semiring)
         finite = np.isfinite(hop_counts)
         diam = 0 if bad >= 0 else int(hop_counts[finite].max(initial=0.0))
-        return {
+        return _emit(payload, {
             "idx": payload["idx"],
             "vertices": payload["vertices"],
             "matrix": apsp,
@@ -101,13 +149,13 @@ def _leaf_worker(payload: dict[str, Any]) -> dict[str, Any]:
             "neg_vertex": bad,
             "work": ledger.work,
             "depth": ledger.depth,
-        }
+        })
     apsp = floyd_warshall(dense, semiring, ledger=ledger, copy=False)
     bad = _check_diagonal(apsp, payload["vertices"], semiring)
     diam = 0
     if bad < 0 and sub.n > 1:
         diam = min_weight_diameter(sub, semiring=semiring)
-    return {
+    return _emit(payload, {
         "idx": payload["idx"],
         "vertices": payload["vertices"],
         "matrix": apsp,
@@ -115,7 +163,7 @@ def _leaf_worker(payload: dict[str, Any]) -> dict[str, Any]:
         "neg_vertex": bad,
         "work": ledger.work,
         "depth": ledger.depth,
-    }
+    })
 
 
 def _internal_worker(payload: dict[str, Any]) -> dict[str, Any]:
@@ -126,7 +174,16 @@ def _internal_worker(payload: dict[str, Any]) -> dict[str, Any]:
     direct = semiring.empty_matrix(h, h)
     np.fill_diagonal(direct, semiring.one)
     # ⊕-combine each child's distance matrix into the shared positions.
-    for child_vertices, child_matrix in payload["children"]:
+    # Classic entries are (vertices, matrix) pre-restricted by the
+    # orchestrator; shm entries are (vertices, positions, full-matrix view)
+    # and the certified-boundary restriction happens here, against shared
+    # pages, so the orchestrator never copies child matrices into payloads.
+    for child in payload["children"]:
+        if len(child) == 3:
+            child_vertices, pos, full = child
+            child_matrix = full[np.ix_(pos, pos)]
+        else:
+            child_vertices, child_matrix = child
         common, pos_vh, pos_child = np.intersect1d(
             vh, child_vertices, assume_unique=True, return_indices=True
         )
@@ -149,14 +206,14 @@ def _internal_worker(payload: dict[str, Any]) -> dict[str, Any]:
         matrix[:, pos_s] = semiring.add(matrix[:, pos_s], left)
         matrix[pos_s, :] = semiring.add(matrix[pos_s, :], right)
     bad = _check_diagonal(matrix, vh, semiring)
-    return {
+    return _emit(payload, {
         "idx": payload["idx"],
         "vertices": vh,
         "matrix": matrix,
         "neg_vertex": bad,
         "work": ledger.work,
         "depth": ledger.depth,
-    }
+    })
 
 
 # ------------------------------------------------------------------ #
@@ -175,31 +232,40 @@ def augment_leaves_up(
     raise_on_negative_cycle: bool = True,
 ) -> Augmentation:
     """Compute the augmentation with Algorithm 4.1 (one parallel phase per
-    tree level, deepest first)."""
+    tree level, deepest first).
+
+    On the ``shm`` backend the per-node matrices live in a shared-memory
+    arena: inputs travel as descriptors, workers write their output blocks
+    in place, and internal nodes read their children's blocks directly from
+    shared pages — no matrix is ever pickled.
+    """
     if semiring.name not in SEMIRINGS:
         raise ValueError("semiring must be one of the registered instances")
     exe = get_executor(executor)
     owns_executor = isinstance(executor, str) and not isinstance(exe, SerialExecutor)
+    use_shm = getattr(exe, "uses_shared_memory", False)
+    arena = None
+    if use_shm:
+        from ..pram.shm import ShmArena
+
+        arena = ShmArena()
     results: dict[int, NodeDistances] = {}
     leaf_diameters: dict[int, int] = {}
+    #: node idx -> descriptor of its matrix block (shm path only).
+    mat_refs: dict[int, Any] = {}
     try:
         for level_nodes in tree.levels_desc():
             payloads = []
+            views: dict[int, np.ndarray] = {}
+            verts: dict[int, np.ndarray] = {}
             for t in level_nodes:
                 if t.is_leaf:
-                    sub, mapping = graph.induced_subgraph(t.vertices)
-                    payloads.append(
-                        {
-                            "kind": "leaf",
-                            "idx": t.idx,
-                            "semiring": semiring.name,
-                            "vertices": mapping,
-                            "n_local": sub.n,
-                            "sub_src": sub.src,
-                            "sub_dst": sub.dst,
-                            "sub_weight": sub.weight,
-                        }
-                    )
+                    payload, mapping, out_view = _leaf_payload(graph, t, semiring, arena)
+                    payloads.append(payload)
+                    if use_shm:
+                        mat_refs[t.idx] = payload["out"]
+                        views[t.idx] = out_view
+                        verts[t.idx] = mapping
                 else:
                     vh = np.union1d(t.separator, t.boundary)
                     pos_s = np.searchsorted(vh, t.separator)
@@ -208,47 +274,71 @@ def augment_leaves_up(
                         nd = results[c]
                         b = tree.nodes[c].boundary
                         # Only the child's boundary rows/cols are certified;
-                        # restrict to them before shipping to the worker.
+                        # the restriction to them happens orchestrator-side
+                        # for array payloads, worker-side (against shared
+                        # pages) for descriptor payloads.
                         idx = nd.index_of(b)
-                        children.append((b, nd.matrix[np.ix_(idx, idx)]))
-                    payloads.append(
-                        {
-                            "kind": "internal",
-                            "idx": t.idx,
-                            "semiring": semiring.name,
-                            "vh": vh,
-                            "pos_s": pos_s,
-                            "children": children,
-                        }
-                    )
+                        if use_shm:
+                            children.append(
+                                (arena.publish(b), arena.publish(idx), mat_refs[c])
+                            )
+                        else:
+                            children.append((b, nd.matrix[np.ix_(idx, idx)]))
+                    payload = {
+                        "kind": "internal",
+                        "idx": t.idx,
+                        "semiring": semiring.name,
+                        "vh": vh,
+                        "pos_s": pos_s,
+                        "children": children,
+                    }
+                    if use_shm:
+                        out_ref, out_view = arena.alloc((vh.shape[0], vh.shape[0]), semiring.dtype)
+                        payload.update(
+                            vh=arena.publish(vh), pos_s=arena.publish(pos_s), out=out_ref
+                        )
+                        mat_refs[t.idx] = out_ref
+                        views[t.idx] = out_view
+                        verts[t.idx] = vh
+                    payloads.append(payload)
             outs = exe.map(_dispatch_worker, payloads)
             branch_ledgers = []
             for out in outs:
                 if out["neg_vertex"] >= 0:
                     if raise_on_negative_cycle and semiring.name in ("min-plus", "hops"):
                         raise NegativeCycleDetected(out["idx"], out["neg_vertex"])
-                results[out["idx"]] = NodeDistances(
-                    node_idx=out["idx"], vertices=out["vertices"], matrix=out["matrix"]
+                idx = out["idx"]
+                results[idx] = NodeDistances(
+                    node_idx=idx,
+                    vertices=verts[idx] if use_shm else out["vertices"],
+                    matrix=views[idx] if use_shm else out["matrix"],
                 )
                 if "leaf_diameter" in out:
-                    leaf_diameters[out["idx"]] = out["leaf_diameter"]
+                    leaf_diameters[idx] = out["leaf_diameter"]
                 b = Ledger()
                 b.charge(out["work"], out["depth"], label="node")
                 branch_ledgers.append(b)
             ledger.merge_parallel(branch_ledgers, label="leaves-up-level")
+        if use_shm and keep_node_distances:
+            # The arena dies with this call; surviving matrices need to own
+            # their memory.
+            for nd in results.values():
+                nd.matrix = np.array(nd.matrix, copy=True)
+        return assemble_augmentation(
+            graph,
+            tree,
+            results,
+            leaf_diameters,
+            semiring,
+            method="leaves_up",
+            keep_node_distances=keep_node_distances,
+            ledger=ledger,
+        )
     finally:
+        if arena is not None:
+            arena.close()
         if owns_executor:
             exe.close()
-    return assemble_augmentation(
-        graph,
-        tree,
-        results,
-        leaf_diameters,
-        semiring,
-        method="leaves_up",
-        keep_node_distances=keep_node_distances,
-        ledger=ledger,
-    )
 
 
 def _dispatch_worker(payload: dict[str, Any]) -> dict[str, Any]:

@@ -16,14 +16,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..kernels.bellman_ford import (
-    EdgeRelaxer,
-    initial_distances,
-    phases_to_convergence,
-)
+from ..kernels.bellman_ford import initial_distances, phases_to_convergence
 from ..pram.machine import NULL_LEDGER, Ledger
 from .augment import Augmentation
-from .scheduler import PhaseSchedule, build_schedule
+from .scheduler import PhaseSchedule
 
 __all__ = [
     "sssp_naive",
@@ -48,13 +44,13 @@ def sssp_naive(
     """Distances from each source via full-scan Bellman–Ford on G⁺.
 
     ``phases`` defaults to the Theorem 3.1 diameter bound; convergence can
-    (and usually does) stop the loop earlier.
+    (and usually does) stop the loop earlier.  G⁺ and its relaxer are cached
+    on the augmentation, so repeated calls skip reconstruction.
     """
     srcs, single = _as_source_array(sources)
     semiring = aug.semiring
-    gplus = aug.augmented_graph()
-    dist = initial_distances(gplus.n, srcs, semiring)
-    relaxer = EdgeRelaxer.from_graph(gplus, semiring)
+    dist = initial_distances(aug.graph.n, srcs, semiring)
+    relaxer = aug.relaxer()
     cap = aug.diameter_bound if phases is None else phases
     for _ in range(cap):
         if not relaxer.relax(dist, ledger=ledger):
@@ -80,10 +76,11 @@ def sssp_scheduled(
 
     Sources are processed in blocks of ``source_block`` (PRAM semantics are
     unaffected — rows are independent; the blocking only bounds the
-    per-phase temporaries)."""
+    per-phase temporaries).  When ``schedule`` is omitted the augmentation's
+    cached schedule is used, so repeated calls compile it exactly once."""
     srcs, single = _as_source_array(sources)
     if schedule is None:
-        schedule = build_schedule(aug)
+        schedule = aug.schedule()
     dist = initial_distances(aug.graph.n, srcs, aug.semiring)
     for start in range(0, srcs.shape[0], max(1, source_block)):
         schedule.run(dist[start : start + source_block], ledger=ledger)

@@ -78,7 +78,35 @@ class EdgeRelaxer:
 
     @classmethod
     def from_graph(cls, g: WeightedDigraph, semiring: Semiring = MIN_PLUS) -> "EdgeRelaxer":
+        """Relaxer over all edges of ``g``."""
         return cls(g.src, g.dst, g.weight, semiring)
+
+    def compiled(self) -> dict[str, np.ndarray]:
+        """The precomputed (dst-sorted) arrays of this relaxer, for shipping
+        across a process boundary without redoing the argsort — feed to
+        :meth:`from_compiled` on the other side.  The arrays may be
+        published to shared memory and passed as descriptors."""
+        return {
+            "src": self._src,
+            "w": self._w,
+            "starts": self._starts,
+            "targets": self._targets,
+        }
+
+    @classmethod
+    def from_compiled(
+        cls, arrays: dict[str, np.ndarray], semiring: Semiring = MIN_PLUS
+    ) -> "EdgeRelaxer":
+        """Rebuild a relaxer from :meth:`compiled` output (zero sorting; the
+        arrays are used as-is, so shared-memory views stay zero-copy)."""
+        obj = cls.__new__(cls)
+        obj.semiring = semiring
+        obj._src = arrays["src"]
+        obj._w = arrays["w"]
+        obj._starts = arrays["starts"]
+        obj._targets = arrays["targets"]
+        obj.m = int(obj._src.shape[0])
+        return obj
 
     def relax(self, dist: np.ndarray, *, ledger: Ledger = NULL_LEDGER) -> bool:
         """One synchronous phase over ``dist`` of shape ``(..., n)``, in

@@ -1,14 +1,37 @@
 """Execution backends for per-node independent work.
 
-The paper's algorithms expose two sources of parallelism that survive on real
-hardware: all tree nodes of a level are independent in Algorithm 4.1, and all
-nodes are independent within one doubling round of Algorithm 4.3.  These
-backends let the same orchestration code run serially, on a thread pool
-(numpy kernels release the GIL inside BLAS/ufunc loops), or on a process
-pool (true parallelism at the cost of pickling the payloads).
+The paper's algorithms expose three sources of parallelism that survive on
+real hardware: all tree nodes of a level are independent in Algorithm 4.1,
+all nodes are independent within one doubling round of Algorithm 4.3, and
+all sources of a batched §3.2 query relax disjoint rows of the distance
+matrix.  These backends let the same orchestration code run serially, on a
+thread pool (numpy kernels release the GIL inside BLAS/ufunc loops), on a
+plain process pool (true parallelism at the cost of pickling the payloads),
+or on the zero-copy shared-memory process pool (true parallelism with O(1)
+bytes of task traffic — see :mod:`repro.pram.shm`).
 
-Workers must be module-level functions taking one picklable payload when the
-process backend is used; the thread/serial backends accept anything.
+Spec grammar
+------------
+:func:`get_executor` resolves a *spec* to a backend instance::
+
+    spec      ::=  None | instance | name [":" workers]
+    name      ::=  "serial" | "thread" | "process" | "shm"
+    workers   ::=  positive integer (default: min(8, cpu_count))
+
+Examples: ``"serial"``, ``"thread:4"``, ``"process"``, ``"shm:8"``.
+``None`` means serial; an existing executor instance passes through
+unchanged (the caller keeps ownership and must ``close()`` it).
+
+Worker-function contract
+------------------------
+* ``serial`` / ``thread`` — any callable and payload.
+* ``process`` — module-level functions and picklable payloads.
+* ``shm`` — like ``process``, but any :class:`~repro.pram.shm.ArrayRef`
+  inside a payload (dicts/lists/tuples, arbitrarily nested) is resolved to
+  a zero-copy numpy view *before* the function runs.  Orchestrators publish
+  large arrays into a :class:`~repro.pram.shm.ShmArena` and put only the
+  descriptors in the payload; workers write results into pre-allocated
+  arena blocks and return scalars.
 """
 
 from __future__ import annotations
@@ -17,10 +40,13 @@ import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Sequence
 
+from .shm import resolve
+
 __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "ShmExecutor",
     "get_executor",
 ]
 
@@ -59,7 +85,7 @@ class ThreadExecutor:
 
 class ProcessExecutor:
     """Process-pool backend; requires module-level worker functions and
-    picklable payloads."""
+    picklable payloads (which are copied to and from every worker)."""
 
     name = "process"
 
@@ -76,9 +102,66 @@ class ProcessExecutor:
         self._pool.shutdown(wait=True)
 
 
-def get_executor(spec) -> SerialExecutor | ThreadExecutor | ProcessExecutor:
-    """Resolve ``"serial" | "thread" | "process"`` (optionally ``"thread:4"``)
-    or pass an executor instance through."""
+def _resolving_call(item: tuple[Callable[[Any], Any], Any]) -> Any:
+    """Worker-side trampoline: resolve shared-memory descriptors in the
+    payload, then run the task (module level so it pickles)."""
+    fn, payload = item
+    return fn(resolve(payload))
+
+
+class ShmExecutor:
+    """Persistent process pool whose payloads travel as shared-memory
+    descriptors instead of pickled arrays.
+
+    Identical ``map`` contract to :class:`ProcessExecutor`; the only
+    difference is that every :class:`~repro.pram.shm.ArrayRef` found inside
+    a payload is resolved to a zero-copy view in the worker before the task
+    function runs.  Payloads without descriptors behave exactly like the
+    plain process backend, so the same worker functions serve both.
+
+    The pool persists across ``map`` calls — algorithms publish their big
+    arrays once per run (to a :class:`~repro.pram.shm.ShmArena` they own)
+    and reuse the warm workers for every subsequent phase or query batch.
+
+    Because payloads are descriptor-sized, tasks are dispatched in chunks
+    (several payloads per IPC round trip) — the per-task pool overhead that
+    dominates fine-grained levels is amortized away without duplicating any
+    array bytes, something the pickling backend cannot afford.
+    """
+
+    name = "shm"
+    #: Orchestrators check this to switch payload construction from
+    #: array-carrying to descriptor-carrying.
+    uses_shared_memory = True
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = workers or min(8, os.cpu_count() or 1)
+        self._pool = ProcessPoolExecutor(max_workers=self.workers)
+
+    def map(self, fn: Callable[[Any], Any], payloads: Sequence[Any]) -> list[Any]:
+        """Apply ``fn`` on the pool with descriptor resolution, preserving
+        order.  Payloads are shipped several-per-task (cheap: descriptors,
+        not arrays) so fine-grained levels aren't dispatch-bound."""
+        chunk = max(1, len(payloads) // (self.workers * 4))
+        return list(
+            self._pool.map(_resolving_call, [(fn, p) for p in payloads], chunksize=chunk)
+        )
+
+    def close(self) -> None:
+        """Shut the pool down, waiting for in-flight tasks.
+
+        Arenas are owned by the orchestrators that created them, not the
+        executor; closing the pool releases worker-side segment mappings.
+        """
+        self._pool.shutdown(wait=True)
+
+
+def get_executor(spec) -> SerialExecutor | ThreadExecutor | ProcessExecutor | ShmExecutor:
+    """Resolve an executor spec (see the module docstring's grammar).
+
+    ``None`` → serial; ``"name[:N]"`` → a fresh backend with ``N`` workers;
+    an instance → passed through unchanged (caller keeps ownership).
+    """
     if spec is None:
         return SerialExecutor()
     if not isinstance(spec, str):
@@ -91,4 +174,6 @@ def get_executor(spec) -> SerialExecutor | ThreadExecutor | ProcessExecutor:
         return ThreadExecutor(workers)
     if name == "process":
         return ProcessExecutor(workers)
+    if name == "shm":
+        return ShmExecutor(workers)
     raise ValueError(f"unknown executor spec {spec!r}")

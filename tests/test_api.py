@@ -94,7 +94,15 @@ class TestQueries:
 
 
 class TestExecutors:
-    @pytest.mark.parametrize("executor", ["serial", "thread:2", "process:2"])
+    @pytest.mark.parametrize(
+        "executor",
+        [
+            "serial",
+            "thread:2",
+            pytest.param("process:2", marks=pytest.mark.multiproc),
+            pytest.param("shm:2", marks=pytest.mark.multiproc),
+        ],
+    )
     @pytest.mark.parametrize("method", ["leaves_up", "doubling"])
     def test_backends_identical_results(self, rng, executor, method):
         g = apply_potential_weights(grid_digraph((6, 6), rng), rng)

@@ -136,7 +136,15 @@ def _boom(payload):
 
 
 class TestExecutorErrors:
-    @pytest.mark.parametrize("spec", ["serial", "thread:2", "process:2"])
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "serial",
+            "thread:2",
+            pytest.param("process:2", marks=pytest.mark.multiproc),
+            pytest.param("shm:2", marks=pytest.mark.multiproc),
+        ],
+    )
     def test_worker_exception_propagates(self, spec):
         from repro.pram.executor import get_executor
 

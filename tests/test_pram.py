@@ -102,9 +102,22 @@ class TestExecutors:
         assert exe.map(_square, [1, 2, 3, 4]) == [1, 4, 9, 16]
         exe.close()
 
+    @pytest.mark.multiproc
     def test_process_executor(self):
         exe = ProcessExecutor(2)
         try:
+            assert exe.map(_square, [3, 5]) == [9, 25]
+        finally:
+            exe.close()
+
+    @pytest.mark.multiproc
+    def test_shm_executor_spec(self):
+        from repro.pram.executor import ShmExecutor
+
+        exe = get_executor("shm:2")
+        try:
+            assert isinstance(exe, ShmExecutor)
+            assert exe.workers == 2 and exe.uses_shared_memory
             assert exe.map(_square, [3, 5]) == [9, 25]
         finally:
             exe.close()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Shared-memory leak checker for the ``shm`` backend.
+
+The zero-copy plane (:mod:`repro.pram.shm`) promises that every segment it
+creates in ``/dev/shm`` is unlinked when its arena closes — even across
+worker crashes.  This tool verifies that promise on a live machine:
+
+* ``--scan`` (default): list any ``psp_*`` segments currently present and
+  exit non-zero if any exist.  Run it after a test session or a bench run;
+  a clean tree prints nothing.
+* ``--exercise``: run a full augmentation + batched-query workload on the
+  ``shm`` backend (including a deliberately crashing task), then scan.
+* ``--clean``: unlink whatever stale ``psp_*`` segments are found (e.g.
+  after a SIGKILL'd orchestrator, where no finalizer could run).
+
+Exit code 0 = no leaks (after cleaning, if requested).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+
+def scan() -> list[str]:
+    from repro.pram.shm import orphaned_segments
+
+    return orphaned_segments()
+
+
+def clean(names: list[str]) -> None:
+    from multiprocessing import shared_memory
+
+    for name in names:
+        try:
+            seg = shared_memory.SharedMemory(name=name)
+            seg.unlink()
+            seg.close()
+            print(f"unlinked stale segment {name}")
+        except FileNotFoundError:
+            pass
+
+
+def exercise() -> None:
+    import numpy as np
+
+    from repro.core.api import ShortestPathOracle
+    from repro.pram.executor import get_executor
+    from repro.separators.grid import decompose_grid
+    from repro.workloads.generators import grid_digraph
+
+    rng = np.random.default_rng(0)
+    g = grid_digraph((12, 12), rng)
+    tree = decompose_grid(g, (12, 12))
+    oracle = ShortestPathOracle.build(g, tree, method="leaves_up", executor="shm:2")
+    with oracle.query_engine(executor="shm:2") as eng:
+        eng.query(rng.integers(0, g.n, size=64))
+    # A crashing worker task must not take any segment down with it.
+    exe = get_executor("shm:2")
+    try:
+        exe.map(_crash, [None])
+    except RuntimeError:
+        pass
+    finally:
+        exe.close()
+    print("exercise complete (augmentation + 64-source batch + worker crash)")
+
+
+def _crash(payload):
+    raise RuntimeError("deliberate crash for leak check")
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--exercise", action="store_true",
+                    help="run an shm workload (incl. a worker crash) first")
+    ap.add_argument("--clean", action="store_true",
+                    help="unlink any stale segments found")
+    args = ap.parse_args(argv)
+    if args.exercise:
+        exercise()
+    leaks = scan()
+    if leaks and args.clean:
+        clean(leaks)
+        leaks = scan()
+    if leaks:
+        print(f"LEAK: {len(leaks)} stale segment(s) in /dev/shm: {leaks}")
+        return 1
+    print("no leaked shared-memory segments")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
