@@ -1,0 +1,194 @@
+"""E-kern — the min-plus kernel suite: reference vs blocked vs pruned.
+
+Two experiments, both recorded in ``benchmarks/results/BENCH_kernels.json``:
+
+* **micro curves** — one doubling square per kernel on one-hop and closed
+  (dense) matrices from the standard grid and Delaunay workloads, over a
+  size sweep spanning the machine's cache cliff.  Shows where each kernel
+  wins and that ``auto``'s small-product cutoff is on the right side.
+* **macro** — end-to-end :func:`~repro.core.doubling.augment_doubling` of
+  the 56×56 grid per kernel, on two decompositions: the default fine grid
+  tree (μ=1/2 — every product is tiny, ``reference``/``auto`` is the right
+  call and the suite must not regress it) and a coarse high-μ tree (fat
+  band separators — the Table-1 μ→1 regime, where node matrices are a few
+  hundred² and the blocked/pruned kernels win ≥1.5×).  Augmentation edges
+  are checked bit-identical across kernels.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.doubling import augment_doubling
+from repro.core.semiring import MIN_PLUS
+from repro.core.septree import build_separator_tree
+from repro.kernels.minplus import semiring_closure, semiring_matmul
+from repro.separators.grid import decompose_grid
+from repro.workloads.generators import delaunay_digraph, grid_digraph
+
+KERNELS = ["reference", "blocked", "pruned"]
+SIDE = 56
+
+#: Micro-sweep operand sizes (straddling the ~190² broadcast cache cliff).
+MICRO_SIZES = [100, 196, 324]
+
+#: Coarse high-μ decomposition of the 56×56 grid: a fat band separator.
+FAT_BAND = 4
+FAT_LEAF = 300
+
+#: Acceptance bar: blocked or pruned must beat reference by this factor on
+#: the coarse-tree doubling augmentation.
+MACRO_SPEEDUP = 1.5
+
+
+def _record_json(results_dir, key: str, record: dict) -> None:
+    """Merge one experiment record into ``BENCH_kernels.json``."""
+    path = results_dir / "BENCH_kernels.json"
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data[key] = record
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _best_of(fn, reps=3) -> float:
+    best = np.inf
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _one_hop_matrix(g) -> np.ndarray:
+    """Dense one-hop min-plus matrix of ``g`` — the shape of an early
+    doubling iterate (mostly +inf)."""
+    w = np.full((g.n, g.n), np.inf)
+    np.fill_diagonal(w, 0.0)
+    np.minimum.at(w, (g.src, g.dst), g.weight)
+    return w
+
+
+def fat_grid_tree(g, side: int, band: int = FAT_BAND, leaf_size: int = FAT_LEAF):
+    """High-μ decomposition of a side×side grid: separators are ``band``
+    adjacent rows/columns, so V_H(t) is a few hundred vertices — the
+    regime where the augmentation's products leave the cache."""
+
+    def fat_sep(sub, global_ids):
+        r, c = global_ids // side, global_ids % side
+        coord = r if (r.max() - r.min() >= c.max() - c.min()) else c
+        mid = (coord.min() + coord.max()) // 2
+        lo = mid - band // 2
+        return np.nonzero((coord >= lo) & (coord < lo + band))[0]
+
+    return build_separator_tree(g, fat_sep, leaf_size=leaf_size)
+
+
+@pytest.fixture(scope="module")
+def grid_workload():
+    rng = np.random.default_rng(0)
+    g = grid_digraph((SIDE, SIDE), rng)
+    return g
+
+
+def _micro_graph(family: str, n: int):
+    if family == "grid":
+        side = int(round(n**0.5))
+        return grid_digraph((side, side), np.random.default_rng(n))
+    g, _ = delaunay_digraph(n, np.random.default_rng(n))
+    return g
+
+
+def test_micro_kernel_curves(report, results_dir):
+    """One doubling square per kernel on sparse (one-hop) and dense (closed)
+    operands from the grid and Delaunay families."""
+    rows = []
+    record = {}
+    for family in ("grid", "delaunay"):
+        for n in MICRO_SIZES:
+            g = _micro_graph(family, n)
+            one_hop = _one_hop_matrix(g)
+            closed = semiring_closure(one_hop)  # dense late-round iterate
+            for label, a in (("one-hop", one_hop), ("closed", closed)):
+                want = semiring_matmul(a, a, MIN_PLUS, kernel="reference")
+                times = {}
+                for kernel in KERNELS:
+                    got = semiring_matmul(a, a, MIN_PLUS, kernel=kernel)
+                    assert np.array_equal(got, want), (family, n, label, kernel)
+                    times[kernel] = _best_of(
+                        lambda k=kernel: semiring_matmul(a, a, MIN_PLUS, kernel=k)
+                    )
+                ref = times["reference"]
+                rows.append([
+                    family, n, label,
+                    *(round(times[k] * 1e3, 2) for k in KERNELS),
+                    round(ref / times["blocked"], 2),
+                    round(ref / times["pruned"], 2),
+                ])
+                record[f"{family}-{n}-{label}"] = {
+                    "times_ms": {k: times[k] * 1e3 for k in KERNELS},
+                    "speedup_blocked": ref / times["blocked"],
+                    "speedup_pruned": ref / times["pruned"],
+                }
+    table = render_table(
+        ["family", "n", "iterate", "ref ms", "blocked ms", "pruned ms",
+         "blocked x", "pruned x"],
+        rows,
+        title="E-kern micro: one min-plus square per kernel (bit-identity checked)",
+    )
+    report("E-kern-micro", table)
+    _record_json(results_dir, "micro", record)
+
+
+def test_macro_doubling_augmentation(grid_workload, report, results_dir):
+    """End-to-end Algorithm 4.3 per kernel on the 56×56 grid, fine and
+    coarse trees; asserts bit-identical E⁺ and the ≥1.5× coarse-tree bar."""
+    g = grid_workload
+    trees = {
+        "fine (mu=1/2 grid tree)": decompose_grid(g, (SIDE, SIDE)),
+        "coarse (high-mu fat-band tree)": fat_grid_tree(g, SIDE),
+    }
+    rows = []
+    record = {}
+    for tree_label, tree in trees.items():
+        times = {}
+        augs = {}
+        for kernel in KERNELS:
+            t0 = time.perf_counter()
+            augs[kernel] = augment_doubling(
+                g, tree, kernel=kernel, keep_node_distances=False
+            )
+            times[kernel] = time.perf_counter() - t0
+        base = augs["reference"]
+        for kernel in KERNELS[1:]:
+            assert np.array_equal(base.src, augs[kernel].src), kernel
+            assert np.array_equal(base.dst, augs[kernel].dst), kernel
+            assert np.array_equal(base.weight, augs[kernel].weight), kernel
+        ref = times["reference"]
+        rows.append([
+            tree_label, base.size,
+            *(round(times[k], 2) for k in KERNELS),
+            round(ref / times["blocked"], 2),
+            round(ref / times["pruned"], 2),
+        ])
+        record[tree_label.split(" ")[0]] = {
+            "eplus": base.size,
+            "times_s": {k: times[k] for k in KERNELS},
+            "speedup_blocked": ref / times["blocked"],
+            "speedup_pruned": ref / times["pruned"],
+        }
+    table = render_table(
+        ["tree", "|E+|", "ref s", "blocked s", "pruned s", "blocked x", "pruned x"],
+        rows,
+        title="E-kern macro: augment_doubling(56x56 grid) per kernel — E+ bit-identical",
+    )
+    report("E-kern-macro", table)
+    _record_json(results_dir, "macro", record)
+    coarse = record["coarse"]
+    best = max(coarse["speedup_blocked"], coarse["speedup_pruned"])
+    assert best >= MACRO_SPEEDUP, (
+        f"best coarse-tree kernel speedup {best:.2f}x < {MACRO_SPEEDUP}x"
+    )

@@ -86,7 +86,7 @@ def _cmd_stats(args) -> int:
         from .separators.planar import decompose_planar
 
         tree = decompose_planar(g, leaf_size=args.leaf_size)
-    oracle = ShortestPathOracle.build(g, tree, method=args.method)
+    oracle = ShortestPathOracle.build(g, tree, method=args.method, kernel=args.kernel)
     print("decomposition:", assess(tree).summary())
     for k, v in oracle.stats().items():
         print(f"  {k}: {v}")
@@ -179,7 +179,7 @@ def _cmd_query(args) -> int:
 
         tree = decompose_planar(g, leaf_size=args.leaf_size)
     t0 = time.perf_counter()
-    oracle = ShortestPathOracle.build(g, tree, method=args.method)
+    oracle = ShortestPathOracle.build(g, tree, method=args.method, kernel=args.kernel)
     build_s = time.perf_counter() - t0
     print(f"built oracle: n={g.n} m={g.m} |E+|={oracle.augmentation.size} "
           f"({build_s:.3f}s)")
@@ -292,6 +292,8 @@ def main(argv: list[str] | None = None) -> int:
     p3.add_argument("--n", type=int, default=1024)
     p3.add_argument("--sources", type=int, default=4)
     p3.add_argument("--method", choices=["leaves_up", "doubling"], default="leaves_up")
+    p3.add_argument("--kernel", choices=["auto", "reference", "blocked", "pruned"],
+                    default=None, help="min-plus matmul kernel for preprocessing")
     p3.add_argument("--leaf-size", dest="leaf_size", type=int, default=8)
     p3.add_argument("--seed", type=int, default=0)
     p3.set_defaults(fn=_cmd_stats)
@@ -317,6 +319,8 @@ def main(argv: list[str] | None = None) -> int:
     p7.add_argument("--method",
                     choices=["leaves_up", "doubling", "doubling_shared"],
                     default="leaves_up")
+    p7.add_argument("--kernel", choices=["auto", "reference", "blocked", "pruned"],
+                    default=None, help="min-plus matmul kernel for preprocessing")
     p7.add_argument("--leaf-size", dest="leaf_size", type=int, default=8)
     p7.add_argument("--seed", type=int, default=0)
     p7.add_argument("--check", action="store_true",

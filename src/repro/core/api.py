@@ -103,6 +103,7 @@ class ShortestPathOracle:
         executor="serial",
         validate: bool = False,
         keep_node_distances: bool = False,
+        kernel: str | None = None,
     ) -> "ShortestPathOracle":
         """Run the full preprocessing pipeline.
 
@@ -118,6 +119,11 @@ class ShortestPathOracle:
             ``"leaves_up"`` (Algorithm 4.1), ``"doubling"`` (Algorithm 4.3),
             or ``"doubling_shared"`` (Algorithm 4.3 with the Remark 4.4
             shared pairing table).
+        kernel:
+            Min-plus matmul kernel for the augmentation's inner products —
+            ``"auto"`` (default), ``"reference"``, ``"blocked"`` or
+            ``"pruned"``; see :mod:`repro.kernels.dispatch`.  All choices
+            are bit-identical.
         """
         if method not in ("leaves_up", "doubling", "doubling_shared"):
             raise ValueError(
@@ -138,6 +144,7 @@ class ShortestPathOracle:
             executor=executor,
             ledger=ledger,
             keep_node_distances=keep_node_distances,
+            kernel=kernel,
         )
         return cls(graph, tree, aug, aug.schedule(), preprocess_ledger=ledger)
 

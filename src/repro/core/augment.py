@@ -179,15 +179,15 @@ class Augmentation:
         # edge O(1) scans, so an overestimated shortcut that a query relies
         # on surfaces here; naive capped BF would self-heal via original
         # edges and hide it.)
-        from .scheduler import build_schedule  # local: avoids import cycle
         from .sssp import sssp_scheduled
 
         q_sources = np.unique(rng.choice(self.graph.n, size=min(4, self.graph.n), replace=False))
         want = bellman_ford(self.graph, q_sources)
-        got = sssp_scheduled(self, q_sources, schedule=build_schedule(self))
+        got = sssp_scheduled(self, q_sources, schedule=self.schedule())
         both_inf = np.isinf(want) & np.isinf(got)
         dev = np.where(both_inf, 0.0, np.abs(got.astype(np.float64) - want))
-        return float(max(under.max(initial=0.0), np.nanmax(dev)))
+        dev_max = float(np.nanmax(dev)) if dev.size else 0.0
+        return float(max(under.max(initial=0.0), dev_max))
 
 
 def edges_from_node_matrix(

@@ -52,7 +52,7 @@ def _square_worker(payload: dict[str, Any]) -> dict[str, Any]:
     semiring = SEMIRINGS[payload["semiring"]]
     ledger = Ledger()
     w = payload["matrix"]
-    prod = semiring_matmul(w, w, semiring, ledger=ledger)
+    prod = semiring_matmul(w, w, semiring, ledger=ledger, kernel=payload.get("kernel"))
     new = semiring.add(w, prod)
     changed = bool(semiring.improves(new, w).any())
     out = {
@@ -78,8 +78,13 @@ def augment_doubling(
     keep_node_distances: bool = True,
     raise_on_negative_cycle: bool = True,
     early_stop: bool = True,
+    kernel: str | None = None,
 ) -> Augmentation:
     """Compute the augmentation with Algorithm 4.3.
+
+    ``kernel`` selects the min-plus matmul implementation for the squaring
+    rounds (see :mod:`repro.kernels.dispatch`); the ``pruned`` kernel skips
+    the all-+inf panels that dominate early rounds.
 
     On the ``shm`` backend every node matrix is a shared-memory block:
     rounds send (idx, descriptor) pairs, workers square their block in
@@ -113,6 +118,7 @@ def augment_doubling(
                     {
                         "idx": t.idx,
                         "semiring": semiring.name,
+                        "kernel": kernel,
                         "matrix": mat_refs[t.idx],
                         "inplace": True,
                     }
@@ -120,7 +126,12 @@ def augment_doubling(
                 ]
             else:
                 payloads = [
-                    {"idx": t.idx, "semiring": semiring.name, "matrix": matrices[t.idx]}
+                    {
+                        "idx": t.idx,
+                        "semiring": semiring.name,
+                        "kernel": kernel,
+                        "matrix": matrices[t.idx],
+                    }
                     for t in internal
                 ]
             outs = exe.map(_square_worker, payloads)

@@ -168,6 +168,7 @@ def _leaf_worker(payload: dict[str, Any]) -> dict[str, Any]:
 
 def _internal_worker(payload: dict[str, Any]) -> dict[str, Any]:
     semiring = SEMIRINGS[payload["semiring"]]
+    kernel = payload.get("kernel")
     ledger = Ledger()
     vh: np.ndarray = payload["vh"]
     h = vh.shape[0]
@@ -199,9 +200,9 @@ def _internal_worker(payload: dict[str, Any]) -> dict[str, Any]:
     else:
         w_s = direct[np.ix_(pos_s, pos_s)]
         d_s = floyd_warshall(w_s, semiring, ledger=ledger, copy=True)
-        left = semiring_matmul(direct[:, pos_s], d_s, semiring, ledger=ledger)
-        right = semiring_matmul(d_s, direct[pos_s, :], semiring, ledger=ledger)
-        three_hop = semiring_matmul(left, direct[pos_s, :], semiring, ledger=ledger)
+        left = semiring_matmul(direct[:, pos_s], d_s, semiring, ledger=ledger, kernel=kernel)
+        right = semiring_matmul(d_s, direct[pos_s, :], semiring, ledger=ledger, kernel=kernel)
+        three_hop = semiring_matmul(left, direct[pos_s, :], semiring, ledger=ledger, kernel=kernel)
         matrix = semiring.add(direct, three_hop)
         matrix[:, pos_s] = semiring.add(matrix[:, pos_s], left)
         matrix[pos_s, :] = semiring.add(matrix[pos_s, :], right)
@@ -230,9 +231,14 @@ def augment_leaves_up(
     ledger: Ledger = NULL_LEDGER,
     keep_node_distances: bool = True,
     raise_on_negative_cycle: bool = True,
+    kernel: str | None = None,
 ) -> Augmentation:
     """Compute the augmentation with Algorithm 4.1 (one parallel phase per
     tree level, deepest first).
+
+    ``kernel`` selects the min-plus matmul implementation used by the
+    per-node 3-hop products (see :mod:`repro.kernels.dispatch`); all
+    choices are bit-identical.
 
     On the ``shm`` backend the per-node matrices live in a shared-memory
     arena: inputs travel as descriptors, workers write their output blocks
@@ -288,6 +294,7 @@ def augment_leaves_up(
                         "kind": "internal",
                         "idx": t.idx,
                         "semiring": semiring.name,
+                        "kernel": kernel,
                         "vh": vh,
                         "pos_s": pos_s,
                         "children": children,

@@ -38,7 +38,7 @@ from typing import Any
 
 import numpy as np
 
-from ..kernels.bellman_ford import EdgeRelaxer, initial_distances
+from ..kernels.bellman_ford import EdgeRelaxer, initial_distances, run_phases
 from ..pram.executor import SerialExecutor, ThreadExecutor, get_executor
 from .augment import Augmentation
 from .semiring import SEMIRINGS
@@ -55,11 +55,23 @@ _ENGINE_CACHE_MAX = 8
 
 
 def _shard_relaxers(spec: dict[str, Any]) -> list[EdgeRelaxer]:
-    """Worker-side: compiled relaxers for an engine spec, memoized by token."""
+    """Worker-side: compiled relaxers for an engine spec, memoized by token.
+
+    Phases sharing one compiled-array dict (the ℓ prefix/suffix full-edge
+    phases — pickle preserves the sharing) are rebuilt as *one* relaxer
+    object repeated, so :func:`~repro.kernels.bellman_ford.run_phases` can
+    frontier-prune across the repetitions worker-side too."""
     relaxers = _ENGINE_CACHE.get(spec["token"])
     if relaxers is None:
         semiring = SEMIRINGS[spec["semiring"]]
-        relaxers = [EdgeRelaxer.from_compiled(ph, semiring) for ph in spec["phases"]]
+        built: dict[int, EdgeRelaxer] = {}
+        relaxers = []
+        for ph in spec["phases"]:
+            r = built.get(id(ph))
+            if r is None:
+                r = EdgeRelaxer.from_compiled(ph, semiring)
+                built[id(ph)] = r
+            relaxers.append(r)
         if len(_ENGINE_CACHE) >= _ENGINE_CACHE_MAX:
             _ENGINE_CACHE.clear()
         _ENGINE_CACHE[spec["token"]] = relaxers
@@ -87,16 +99,14 @@ def _shard_worker(payload: dict[str, Any]) -> dict[str, Any]:
     phases = 0
     if payload["engine"]["mode"] == "scheduled":
         for start in range(0, rows.shape[0], block):
-            chunk = rows[start : start + block]
-            for r in relaxers:
-                r.relax(chunk)
+            run_phases(relaxers, rows[start : start + block])
         phases = len(relaxers)
     else:
         relaxer = relaxers[0]
         cap = int(payload["engine"]["cap"])
-        changed = True
-        while changed and phases < cap:
-            changed = relaxer.relax(rows)
+        active = np.arange(rows.shape[0])
+        while active.size and phases < cap:
+            active = relaxer.relax_rows(rows, active)
             phases += 1
     return {"rows": None if shared else rows, "phases": phases}
 
@@ -156,16 +166,32 @@ class QueryEngine:
             from ..pram.shm import ShmArena
 
             self._arena = ShmArena()
-            phases = [
-                {k: self._arena.publish(v) for k, v in r.compiled().items()}
-                for r in relaxers
-            ]
-            self._spec = self._make_spec(phases)
+            self._spec = self._make_spec(
+                self._dedup_phases(lambda r: {
+                    k: self._arena.publish(v) for k, v in r.compiled().items()
+                })
+            )
         elif not isinstance(self._exe, (SerialExecutor, ThreadExecutor)):
-            self._spec = self._make_spec([r.compiled() for r in relaxers])
+            self._spec = self._make_spec(self._dedup_phases(lambda r: r.compiled()))
         # Telemetry.
         self.queries_served = 0
         self.rows_served = 0
+
+    def _dedup_phases(self, compile_one) -> list[dict[str, Any]]:
+        """Compile (and, on shm, publish) each *distinct* relaxer object
+        once; repeated phases share the resulting dict.  The sharing is what
+        lets workers frontier-prune the repeated prefix/suffix phases, and
+        on shm it also publishes the full edge set once instead of 2ℓ
+        times."""
+        compiled: dict[int, dict[str, Any]] = {}
+        phases = []
+        for r in self._relaxers:
+            d = compiled.get(id(r))
+            if d is None:
+                d = compile_one(r)
+                compiled[id(r)] = d
+            phases.append(d)
+        return phases
 
     def _make_spec(self, phases: list[dict[str, Any]]) -> dict[str, Any]:
         return {
@@ -180,15 +206,19 @@ class QueryEngine:
     # -------------------------------------------------------------- #
 
     def _run_inline(self, rows: np.ndarray) -> None:
-        """Relax ``rows`` in the calling thread (serial path / small batch)."""
+        """Relax ``rows`` in the calling thread (serial path / small batch);
+        both modes frontier-prune converged source rows."""
         block = max(1, self.source_block)
         if self.engine == "scheduled":
             for start in range(0, rows.shape[0], block):
                 self.schedule.run(rows[start : start + block])
         else:
             relaxer, cap = self._relaxers[0], self.aug.diameter_bound
+            view = rows if rows.ndim == 2 else rows[None, :]
+            active = np.arange(view.shape[0])
             phases = 0
-            while phases < cap and relaxer.relax(rows):
+            while phases < cap and active.size:
+                active = relaxer.relax_rows(view, active)
                 phases += 1
 
     def _shards(self, s: int) -> list[tuple[int, int]]:

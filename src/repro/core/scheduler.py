@@ -30,7 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..kernels.bellman_ford import EdgeRelaxer
+from ..kernels.bellman_ford import EdgeRelaxer, run_phases
 from ..pram.machine import NULL_LEDGER, Ledger
 from .augment import Augmentation
 from .semiring import Semiring
@@ -56,10 +56,14 @@ class PhaseSchedule:
 
     def run(self, dist: np.ndarray, *, ledger: Ledger = NULL_LEDGER) -> np.ndarray:
         """One full pass over the schedule; ``dist`` has shape ``(..., n)``
-        and is updated in place (and returned)."""
-        for r in self.relaxers:
-            r.relax(dist, ledger=ledger)
-        return dist
+        and is updated in place (and returned).
+
+        The ℓ prefix and suffix phases reuse one full-edge relaxer, so
+        :func:`~repro.kernels.bellman_ford.run_phases` frontier-prunes
+        within those runs: source rows the shared relaxer stopped improving
+        skip its remaining repetitions (bit-identical — rows are
+        independent), and the ledger records the work actually scanned."""
+        return run_phases(self.relaxers, dist, ledger=ledger)
 
 
 def build_schedule(aug: Augmentation) -> PhaseSchedule:

@@ -52,9 +52,13 @@ def sssp_naive(
     dist = initial_distances(aug.graph.n, srcs, semiring)
     relaxer = aug.relaxer()
     cap = aug.diameter_bound if phases is None else phases
+    # Row frontier: a source row the full-edge relaxer stopped improving is
+    # at its fixpoint (rows are independent) and is never rescanned.
+    active = np.arange(dist.shape[0])
     for _ in range(cap):
-        if not relaxer.relax(dist, ledger=ledger):
+        if not active.size:
             break
+        active = relaxer.relax_rows(dist, active, ledger=ledger)
     return dist[0] if single else dist
 
 

@@ -32,6 +32,7 @@ __all__ = [
     "initial_distances",
     "phases_to_convergence",
     "min_weight_diameter",
+    "run_phases",
     "NegativeCycleError",
 ]
 
@@ -128,6 +129,89 @@ class EdgeRelaxer:
         )
         return changed
 
+    def relax_rows(
+        self, dist: np.ndarray, rows: np.ndarray, *, ledger: Ledger = NULL_LEDGER
+    ) -> np.ndarray:
+        """One phase restricted to the given source rows of a 2-D ``dist``;
+        returns the (global) indices of rows that strictly improved.
+
+        This is the frontier-pruning primitive: rows are independent
+        single-source relaxations, so a row this relaxer did not improve is
+        at this relaxer's fixpoint and re-relaxing it can never change it —
+        iterate with ``rows = relax_rows(dist, rows)`` until empty and only
+        still-converging rows are ever scanned.  The ledger is charged the
+        *actual* scanned work ``|rows|·m`` (not ``total rows·m``).
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if not self.m or rows.size == 0:
+            return rows[:0]
+        sr = self.semiring
+        full = rows.size == dist.shape[0] and bool(
+            (rows == np.arange(dist.shape[0])).all()
+        )
+        sub = dist if full else dist[rows]  # full frontier: in place, no gather
+        cand = sr.mul(sub[:, self._src], self._w)
+        grouped = sr.add.reduceat(cand, self._starts, axis=-1)
+        cur = sub[:, self._targets]
+        row_changed = sr.improves(grouped, cur).any(axis=-1)
+        ledger.charge(
+            work=float(rows.size) * self.m,
+            depth=reduce_depth(dist.shape[-1]),
+            label="bf-phase",
+        )
+        if not row_changed.any():
+            return rows[:0]
+        if sub is dist:
+            dist[:, self._targets] = sr.add(cur, grouped)
+        else:
+            sub[:, self._targets] = sr.add(cur, grouped)
+            dist[rows[row_changed]] = sub[row_changed]
+        return rows[row_changed]
+
+
+def run_phases(
+    relaxers: list["EdgeRelaxer"],
+    dist: np.ndarray,
+    *,
+    ledger: Ledger = NULL_LEDGER,
+) -> np.ndarray:
+    """Run a sequence of relaxation phases over ``dist`` in place, frontier-
+    pruning *consecutive runs of the same relaxer object*.
+
+    Within such a run (e.g. the ℓ prefix/suffix full-edge phases of the
+    §3.2 schedule, or a Bellman–Ford fixpoint loop) a row the relaxer left
+    unchanged is at that relaxer's fixpoint — rows are independent — so it
+    is dropped from the frontier for the rest of the run; results are
+    bit-identical to relaxing every row every phase, but the ledger is
+    charged only the work actually scanned.  Distinct relaxers reset the
+    frontier (a row converged under one edge subset may still improve under
+    another).
+    """
+    if dist.ndim == 1:
+        view = dist[None, :]
+    elif dist.ndim == 2:
+        view = dist
+    else:  # pragma: no cover - no caller relaxes >2-D stacks today
+        for r in relaxers:
+            r.relax(dist, ledger=ledger)
+        return dist
+    i, n_phases = 0, len(relaxers)
+    while i < n_phases:
+        r = relaxers[i]
+        j = i + 1
+        while j < n_phases and relaxers[j] is r:
+            j += 1
+        if j - i == 1:
+            r.relax(view, ledger=ledger)
+        else:
+            active = np.arange(view.shape[0])
+            for _ in range(i, j):
+                if not active.size:
+                    break
+                active = r.relax_rows(view, active, ledger=ledger)
+        i = j
+    return dist
+
 
 def initial_distances(
     n: int, sources: np.ndarray | list[int], semiring: Semiring = MIN_PLUS
@@ -161,12 +245,14 @@ def bellman_ford(
     dist = initial_distances(g.n, srcs, semiring)
     relaxer = EdgeRelaxer.from_graph(g, semiring)
     cap = g.n if max_phases is None else max_phases
-    changed = True
+    # Frontier pruning: only rows that improved last phase can improve again
+    # under the same (full) edge set, so converged rows are never rescanned.
+    active = np.arange(dist.shape[0])
     phase = 0
-    while changed and phase < cap:
-        changed = relaxer.relax(dist, ledger=ledger)
+    while active.size and phase < cap:
+        active = relaxer.relax_rows(dist, active, ledger=ledger)
         phase += 1
-    if check_negative_cycle and changed and relaxer.relax(dist.copy()):
+    if check_negative_cycle and active.size and relaxer.relax(dist.copy()):
         raise NegativeCycleError("negative-weight cycle reachable from a source")
     return dist[0] if single else dist
 
@@ -190,7 +276,12 @@ def phases_to_convergence(
     relaxer = EdgeRelaxer.from_graph(g, semiring)
     cap = g.n + 1 if cap is None else cap
     phases = 0
-    while phases < cap and relaxer.relax(dist, ledger=ledger):
+    view = dist if dist.ndim == 2 else dist[None, :]
+    active = np.arange(view.shape[0])
+    while phases < cap:
+        active = relaxer.relax_rows(view, active, ledger=ledger)
+        if not active.size:
+            break
         phases += 1
     if phases >= cap:
         raise NegativeCycleError("no fixpoint within cap (negative cycle?)")

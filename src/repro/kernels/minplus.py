@@ -3,14 +3,23 @@
 These are the inner kernels of the augmentation algorithms (paper §4): step
 (iv) of Algorithm 4.1 is a 3-hop product, and step ii(1) of Algorithm 4.3 is
 a path-doubling (squaring) step.  The paper plugs in Han–Pan–Reif parallel
-APSP for O(|S|³) work; we substitute a numpy-vectorized cubic kernel, which
-has the same work exponent (DESIGN.md §5), and charge the PRAM ledger with
+APSP for O(|S|³) work; we substitute numpy-vectorized cubic kernels, which
+have the same work exponent (DESIGN.md §5), and charge the PRAM ledger with
 the model quantities: ``work = l·k·m`` scalar ⊕/⊗ operations and
-``depth = ⌈log₂ k⌉`` for the reduction tree.
+``depth = ⌈log₂ k⌉`` for the reduction tree — independent of which concrete
+kernel executed (the ledger is the cost model; kernels are execution detail).
 
-The broadcast product materializes an ``(l, k, m)`` intermediate, so rows are
-processed in blocks sized to a memory budget (guides: bound temporaries,
-prefer in-place updates).
+Three interchangeable, bit-identical implementations register with
+:mod:`repro.kernels.dispatch` (see that module for the selection policy and
+the exactness argument):
+
+* ``reference`` — the broadcast product: an ``(rows, k, m)`` intermediate
+  per row block sized to a memory budget, ⊕-reduced densely;
+* ``blocked`` — cache-blocked panels over ``(l, k, m)`` with a running
+  ⊕-accumulator, temporary bounded by ``block_l·block_k·block_m``;
+* ``pruned`` — per row panel, ``k`` columns that are all 0̄ in ``A`` (or
+  whose ``B`` row is all 0̄) are compressed away before multiplying; 0̄ is
+  ⊗-annihilating and the ⊕-identity, so the result is unchanged bit for bit.
 """
 
 from __future__ import annotations
@@ -18,7 +27,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.semiring import MIN_PLUS, Semiring
-from ..pram.machine import NULL_LEDGER, Ledger, log2ceil, reduce_depth
+from ..pram.machine import NULL_LEDGER, Ledger, reduce_depth
+from .dispatch import register_kernel, resolve_kernel, tuning_for
 
 __all__ = ["semiring_matmul", "semiring_square", "semiring_closure", "hop_limited_product"]
 
@@ -31,6 +41,171 @@ def _row_block(k: int, m: int, budget: int) -> int:
     return max(1, budget // denom)
 
 
+def _bool_gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Boolean product via a witness-count GEMM, thresholded.
+
+    Counts are accumulated in a float dtype wide enough to be exact: float32
+    represents integers exactly up to 2²⁴, float64 up to 2⁵³.  (A uint8 GEMM
+    accumulates mod 256, so a vertex pair with a multiple-of-256 witness
+    count would silently test ``> 0`` as False — the k ≥ 256 overflow bug.)
+    """
+    dt = np.float32 if a.shape[1] < (1 << 24) else np.float64
+    return (a.astype(dt) @ b.astype(dt)) > 0
+
+
+def _panel_product(ablk: np.ndarray, bblk: np.ndarray, semiring: Semiring) -> np.ndarray:
+    """⊕-reduced ``ablk ⊗ bblk`` of one panel pair (the shared primitive of
+    the blocked and pruned kernels)."""
+    if semiring.name == "boolean":
+        return _bool_gemm(ablk, bblk)
+    ext = semiring.mul(ablk[:, :, None], bblk[None, :, :])
+    return semiring.add_reduce(ext, axis=1)
+
+
+def _combine(out_view: np.ndarray, red: np.ndarray, semiring: Semiring, accumulate: bool) -> None:
+    if accumulate:
+        semiring.add(out_view, red, out=out_view)
+    else:
+        out_view[...] = red
+
+
+# ------------------------------------------------------------------ #
+# Kernel implementations (uniform signature, registered with dispatch)
+# ------------------------------------------------------------------ #
+
+
+@register_kernel("reference")
+def _matmul_reference(
+    a: np.ndarray,
+    b: np.ndarray,
+    semiring: Semiring,
+    out: np.ndarray,
+    accumulate: bool,
+    budget: int,
+    tuning: dict,
+) -> np.ndarray:
+    l, k = a.shape
+    m = b.shape[1]
+    if semiring.name == "boolean":
+        _combine(out, _bool_gemm(a, b), semiring, accumulate)
+        return out
+    block = _row_block(k, m, budget)
+    for start in range(0, l, block):
+        stop = min(l, start + block)
+        # (rows, k, m) broadcast of A-rows against all of B, then ⊕-reduce
+        # over the middle (path-concatenation) axis.
+        ext = semiring.mul(a[start:stop, :, None], b[None, :, :])
+        red = semiring.add_reduce(ext, axis=1)
+        _combine(out[start:stop], red, semiring, accumulate)
+    return out
+
+
+def _accumulate_panels(
+    a: np.ndarray,
+    b: np.ndarray,
+    semiring: Semiring,
+    out: np.ndarray,
+    accumulate: bool,
+    bk: int,
+    bm: int,
+) -> None:
+    """⊕-accumulate ``a ⊗ b`` into ``out`` over (k, m) panels; ``a`` is one
+    row panel.  Re-associating the ⊕ over k panels is exact for the shipped
+    semirings (min/max/or select a value, they never round)."""
+    k = a.shape[1]
+    m = b.shape[1]
+    for j0 in range(0, m, bm):
+        j1 = min(m, j0 + bm)
+        acc: np.ndarray | None = None
+        for k0 in range(0, k, bk):
+            k1 = min(k, k0 + bk)
+            red = _panel_product(a[:, k0:k1], b[k0:k1, j0:j1], semiring)
+            if acc is None:
+                acc = red
+            else:
+                semiring.add(acc, red, out=acc)
+        _combine(out[:, j0:j1], acc, semiring, accumulate)
+
+
+@register_kernel("blocked")
+def _matmul_blocked(
+    a: np.ndarray,
+    b: np.ndarray,
+    semiring: Semiring,
+    out: np.ndarray,
+    accumulate: bool,
+    budget: int,
+    tuning: dict,
+) -> np.ndarray:
+    l = a.shape[0]
+    bl = max(1, int(tuning.get("block_l", 32)))
+    bk = max(1, int(tuning.get("block_k", 128)))
+    bm = max(1, int(tuning.get("block_m", 128)))
+    while bl * bk * bm > budget and bm > 1:  # never exceed the memory budget
+        bm = max(1, bm // 2)
+    for i0 in range(0, l, bl):
+        i1 = min(l, i0 + bl)
+        _accumulate_panels(a[i0:i1], b, semiring, out[i0:i1], accumulate, bk, bm)
+    return out
+
+
+@register_kernel("pruned")
+def _matmul_pruned(
+    a: np.ndarray,
+    b: np.ndarray,
+    semiring: Semiring,
+    out: np.ndarray,
+    accumulate: bool,
+    budget: int,
+    tuning: dict,
+) -> np.ndarray:
+    l, k = a.shape
+    m = b.shape[1]
+    bl = max(1, int(tuning.get("block_l", 48)))
+    dead_frac = float(tuning.get("dead_frac", 0.0625))
+    blocked_params = tuning_for("blocked")
+    bk = max(1, int(blocked_params.get("block_k", 128)))
+    bm = max(1, int(blocked_params.get("block_m", 128)))
+    zero = semiring.zero
+    # Liveness masks: a k term contributes 0̄ to every ⊕ (hence nothing)
+    # whenever A[:, k] is 0̄ for the whole row panel or B[k, :] is all 0̄.
+    if semiring.dtype == np.dtype(bool):
+        nz_a = a
+        b_live = b.any(axis=1)
+    else:
+        nz_a = a != zero
+        b_live = (b != zero).any(axis=1)
+    for i0 in range(0, l, bl):
+        i1 = min(l, i0 + bl)
+        panel_nz = nz_a[i0:i1]
+        live = panel_nz.any(axis=0) & b_live
+        kk = int(live.sum())
+        if kk == 0:
+            # Empty ⊕ over k: the whole output panel is 0̄.
+            if not accumulate:
+                out[i0:i1] = zero
+            continue
+        if kk <= (1.0 - dead_frac) * k:
+            idx = np.nonzero(live)[0]
+            a2 = a[i0:i1][:, idx]  # fancy index: a fresh contiguous copy
+            b2 = b[idx]
+            rows = i1 - i0
+            mchunk = max(1, min(m, budget // max(1, rows * kk)))
+            for j0 in range(0, m, mchunk):
+                j1 = min(m, j0 + mchunk)
+                red = _panel_product(a2, b2[:, j0:j1], semiring)
+                _combine(out[i0:i1, j0:j1], red, semiring, accumulate)
+        else:
+            # Dense panel: nothing worth pruning, use blocked accumulation.
+            _accumulate_panels(a[i0:i1], b, semiring, out[i0:i1], accumulate, bk, bm)
+    return out
+
+
+# ------------------------------------------------------------------ #
+# Public entry points
+# ------------------------------------------------------------------ #
+
+
 def semiring_matmul(
     a: np.ndarray,
     b: np.ndarray,
@@ -40,6 +215,7 @@ def semiring_matmul(
     accumulate: bool = False,
     ledger: Ledger = NULL_LEDGER,
     budget: int = _DEFAULT_BUDGET,
+    kernel: str | None = None,
 ) -> np.ndarray:
     """``C = A ⊗ B`` in the given semiring: ``C[i,j] = ⊕_k A[i,k] ⊗ B[k,j]``.
 
@@ -49,6 +225,10 @@ def semiring_matmul(
         Optional output array; with ``accumulate=True`` the product is
         ⊕-combined into ``out`` instead of overwriting it (the idiom for
         ``W ← W ⊕ (W ⊗ W)`` doubling steps).
+    kernel:
+        ``"reference"``, ``"blocked"``, ``"pruned"``, ``"auto"`` or ``None``
+        (the process default — see :mod:`repro.kernels.dispatch`).  Every
+        choice is bit-identical; they trade temporaries and scanned work.
     """
     a = np.asarray(a)
     b = np.asarray(b)
@@ -59,26 +239,8 @@ def semiring_matmul(
     if out is None:
         out = semiring.empty_matrix(l, m)
         accumulate = True  # combining into all-zero is plain assignment
-
-    if semiring.name == "boolean":
-        # Specialized fast path: uint8 GEMM then threshold.
-        prod = (a.astype(np.uint8) @ b.astype(np.uint8)) > 0
-        if accumulate:
-            np.logical_or(out, prod, out=out)
-        else:
-            out[...] = prod
-    else:
-        block = _row_block(k, m, budget)
-        for start in range(0, l, block):
-            stop = min(l, start + block)
-            # (rows, k, m) broadcast of A-row against all of B, then ⊕-reduce
-            # over the middle (path-concatenation) axis.
-            ext = semiring.mul(a[start:stop, :, None], b[None, :, :])
-            red = semiring.add_reduce(ext, axis=1)
-            if accumulate:
-                semiring.add(out[start:stop], red, out=out[start:stop])
-            else:
-                out[start:stop] = red
+    name, fn = resolve_kernel(kernel, l, k, m)
+    fn(a, b, semiring, out, accumulate, budget, tuning_for(name))
     ledger.charge(work=float(l) * k * m, depth=reduce_depth(k), label="semiring-matmul")
     return out
 
@@ -89,13 +251,14 @@ def semiring_square(
     *,
     ledger: Ledger = NULL_LEDGER,
     budget: int = _DEFAULT_BUDGET,
+    kernel: str | None = None,
 ) -> np.ndarray:
     """One path-doubling step ``W ← W ⊕ (W ⊗ W)``, in place, returning ``W``.
 
     If ``W`` holds best weights over paths of ≤h hops (with 1̄ diagonal), the
     result holds best weights over ≤2h hops.
     """
-    prod = semiring_matmul(w, w, semiring, ledger=ledger, budget=budget)
+    prod = semiring_matmul(w, w, semiring, ledger=ledger, budget=budget, kernel=kernel)
     semiring.add(w, prod, out=w)
     return w
 
@@ -106,6 +269,7 @@ def semiring_closure(
     *,
     ledger: Ledger = NULL_LEDGER,
     budget: int = _DEFAULT_BUDGET,
+    kernel: str | None = None,
 ) -> np.ndarray:
     """Reflexive-transitive closure by repeated squaring: ⌈log₂ n⌉ doublings
     of the one-hop matrix (diagonal forced to 1̄).  Returns a new matrix.
@@ -120,7 +284,7 @@ def semiring_closure(
     semiring.add(diag, np.full(n, semiring.one, dtype=semiring.dtype), out=diag)
     steps = max(1, int(np.ceil(np.log2(max(2, n)))))
     for _ in range(steps):
-        semiring_square(c, semiring, ledger=ledger, budget=budget)
+        semiring_square(c, semiring, ledger=ledger, budget=budget, kernel=kernel)
     return c
 
 
@@ -131,6 +295,7 @@ def hop_limited_product(
     *,
     ledger: Ledger = NULL_LEDGER,
     budget: int = _DEFAULT_BUDGET,
+    kernel: str | None = None,
 ) -> np.ndarray:
     """Best weights over paths of at most ``hops`` edges.
 
@@ -145,5 +310,5 @@ def hop_limited_product(
     semiring.add(diag, np.full(base.shape[0], semiring.one, dtype=semiring.dtype), out=diag)
     acc = base
     for _ in range(hops - 1):
-        acc = semiring_matmul(acc, base, semiring, ledger=ledger, budget=budget)
+        acc = semiring_matmul(acc, base, semiring, ledger=ledger, budget=budget, kernel=kernel)
     return acc

@@ -49,6 +49,28 @@ class TestVerifyEdges:
         aug = augment_leaves_up(g, tree)
         assert aug.verify_edges() < 1e-9
 
+    def test_zero_edge_graph(self):
+        """No edges at all: E⁺ is empty and verification is trivially 0."""
+        g = WeightedDigraph(6, [], [], [])
+        tree = decompose_spectral(g, leaf_size=2)
+        aug = augment_leaves_up(g, tree)
+        assert aug.verify_edges() == 0.0
+
+    def test_reuses_cached_schedule(self, grid7, monkeypatch):
+        """verify_edges must use the augmentation's cached schedule, not
+        compile a fresh one per call (the recompile dominated the check)."""
+        import repro.core.scheduler as scheduler
+
+        g, tree = grid7
+        aug = augment_leaves_up(g, tree)
+        aug.schedule()  # populate the cache
+
+        def boom(_aug):
+            raise AssertionError("schedule was rebuilt")
+
+        monkeypatch.setattr(scheduler, "build_schedule", boom)
+        assert aug.verify_edges() < 1e-9
+
 
 class TestDecompositionReuse:
     def test_reweighting_reuses_tree(self, grid7, rng):

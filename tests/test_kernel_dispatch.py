@@ -1,0 +1,307 @@
+"""Kernel dispatch: every registered matmul kernel is bit-identical, the
+registry/tuning plumbing works, and frontier-pruned relaxation equals the
+full scan (including on negative weights)."""
+
+import numpy as np
+import pytest
+
+from repro.core.semiring import BOOLEAN, MAX_MIN, MIN_MAX, MIN_PLUS
+from repro.kernels import dispatch
+from repro.kernels.bellman_ford import EdgeRelaxer, initial_distances, run_phases
+from repro.kernels.minplus import semiring_matmul
+from repro.workloads.generators import grid_digraph
+
+SEMIRINGS = [MIN_PLUS, BOOLEAN, MAX_MIN, MIN_MAX]
+KERNELS = ["reference", "blocked", "pruned"]
+
+#: Adversarial shapes: single row, non-block-multiples (ragged), square,
+#: k of exactly one, wide/narrow.
+SHAPES = [(1, 30, 9), (5, 7, 4), (33, 65, 17), (64, 64, 64), (3, 1, 5), (2, 200, 3)]
+
+
+def random_operands(semiring, l, k, m, rng, zero_frac=0.3):
+    """Random semiring matrices with a controllable share of 0̄ entries."""
+    if semiring.dtype == np.dtype(bool):
+        a = rng.random((l, k)) > zero_frac
+        b = rng.random((k, m)) > zero_frac
+        return a, b
+    a = rng.uniform(0.5, 9.0, (l, k))
+    b = rng.uniform(0.5, 9.0, (k, m))
+    a[rng.random((l, k)) < zero_frac] = semiring.zero
+    b[rng.random((k, m)) < zero_frac] = semiring.zero
+    return a.astype(semiring.dtype), b.astype(semiring.dtype)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("semiring", SEMIRINGS, ids=lambda s: s.name)
+    @pytest.mark.parametrize("shape", SHAPES, ids=str)
+    def test_kernels_bit_identical(self, semiring, shape, rng):
+        l, k, m = shape
+        a, b = random_operands(semiring, l, k, m, rng)
+        want = semiring_matmul(a, b, semiring, kernel="reference")
+        for kernel in KERNELS[1:]:
+            got = semiring_matmul(a, b, semiring, kernel=kernel)
+            assert np.array_equal(got, want), kernel
+        auto = semiring_matmul(a, b, semiring, kernel="auto")
+        assert np.array_equal(auto, want)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_tiny_budget(self, kernel, rng):
+        """A pathological memory budget forces maximal blocking — still exact."""
+        a, b = random_operands(MIN_PLUS, 13, 29, 11, rng)
+        want = semiring_matmul(a, b, MIN_PLUS, kernel="reference")
+        got = semiring_matmul(a, b, MIN_PLUS, kernel=kernel, budget=8)
+        assert np.array_equal(got, want)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("semiring", SEMIRINGS, ids=lambda s: s.name)
+    def test_all_zero_operands(self, kernel, semiring, rng):
+        """All-0̄ inputs (no paths at all): output must be all 0̄."""
+        a = np.full((6, 10), semiring.zero, dtype=semiring.dtype)
+        b = np.full((10, 4), semiring.zero, dtype=semiring.dtype)
+        got = semiring_matmul(a, b, semiring, kernel=kernel)
+        assert (got == semiring.zero).all()
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_mostly_dead_panels(self, kernel, rng):
+        """A doubling-like matrix — nearly all +inf with a live band — is the
+        pruned kernel's favorable case; results stay bit-identical."""
+        n = 80
+        a = np.full((n, n), np.inf)
+        np.fill_diagonal(a, 0.0)
+        band = rng.integers(0, n, size=(60, 2))
+        a[band[:, 0], band[:, 1]] = rng.uniform(0.5, 5.0, 60)
+        want = semiring_matmul(a, a, MIN_PLUS, kernel="reference")
+        got = semiring_matmul(a, a, MIN_PLUS, kernel=kernel)
+        assert np.array_equal(got, want)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_accumulate_into_out(self, kernel, rng):
+        a, b = random_operands(MIN_PLUS, 21, 33, 14, rng)
+        base = rng.uniform(0.5, 2.0, (21, 14))
+        want = np.minimum(base, semiring_matmul(a, b, MIN_PLUS, kernel="reference"))
+        out = base.copy()
+        res = semiring_matmul(a, b, MIN_PLUS, out=out, accumulate=True, kernel=kernel)
+        assert res is out
+        assert np.array_equal(out, want)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_overwrite_out(self, kernel, rng):
+        a, b = random_operands(MIN_PLUS, 9, 40, 9, rng)
+        want = semiring_matmul(a, b, MIN_PLUS, kernel="reference")
+        out = np.full((9, 9), -123.0)  # garbage that must be fully overwritten
+        semiring_matmul(a, b, MIN_PLUS, out=out, accumulate=False, kernel=kernel)
+        assert np.array_equal(out, want)
+
+
+class TestDispatch:
+    def test_registry_lists_all(self):
+        assert set(KERNELS) <= set(dispatch.available_kernels())
+
+    def test_auto_policy(self):
+        assert dispatch.choose_kernel(4, 4, 4) == "reference"
+        assert dispatch.choose_kernel(256, 256, 256) == "pruned"
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            dispatch.resolve_kernel("nope", 8, 8, 8)
+        with pytest.raises(ValueError, match="unknown kernel"):
+            semiring_matmul(np.zeros((2, 2)), np.zeros((2, 2)), kernel="nope")
+
+    def test_default_kernel_override(self):
+        try:
+            dispatch.set_default_kernel("blocked")
+            assert dispatch.resolve_kernel(None, 512, 512, 512)[0] == "blocked"
+        finally:
+            dispatch.set_default_kernel(None)
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "reference")
+        assert dispatch.get_default_kernel() == "reference"
+        assert dispatch.resolve_kernel(None, 512, 512, 512)[0] == "reference"
+
+    def test_set_unknown_default_raises(self):
+        with pytest.raises(ValueError):
+            dispatch.set_default_kernel("nope")
+
+    def test_ledger_charges_model_cost(self, rng):
+        """Kernel choice must not leak into the PRAM ledger (it is the cost
+        model, not an execution trace)."""
+        from repro.pram.machine import Ledger
+
+        a = np.full((40, 40), np.inf)
+        np.fill_diagonal(a, 0.0)
+        ledgers = {}
+        for kernel in KERNELS:
+            led = Ledger()
+            semiring_matmul(a, a, MIN_PLUS, ledger=led, kernel=kernel)
+            ledgers[kernel] = (led.work, led.depth)
+        assert len(set(ledgers.values())) == 1
+        assert ledgers["reference"][0] == 40.0**3
+
+
+class TestTuning:
+    def test_save_load_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_TUNE", str(tmp_path / "tune.json"))
+        dispatch.reload_tuning()
+        try:
+            assert dispatch.load_tuning() == {}
+            base = dispatch.tuning_for("blocked")
+            assert base == dispatch.DEFAULT_TUNING["blocked"]
+            dispatch.save_tuning({"blocked": {"block_l": 7}})
+            eff = dispatch.tuning_for("blocked")
+            assert eff["block_l"] == 7  # persisted winner
+            assert eff["block_k"] == base["block_k"]  # default survives
+            # Merge, not clobber: a later save of another kernel keeps blocked.
+            dispatch.save_tuning({"pruned": {"dead_frac": 0.25}})
+            assert dispatch.reload_tuning()["blocked"] == {"block_l": 7}
+            assert dispatch.tuning_for("pruned")["dead_frac"] == 0.25
+        finally:
+            monkeypatch.delenv("REPRO_KERNEL_TUNE")
+            dispatch.reload_tuning()
+
+    def test_corrupt_file_ignored(self, tmp_path, monkeypatch):
+        p = tmp_path / "tune.json"
+        p.write_text("{not json")
+        monkeypatch.setenv("REPRO_KERNEL_TUNE", str(p))
+        dispatch.reload_tuning()
+        try:
+            assert dispatch.tuning_for("blocked") == dispatch.DEFAULT_TUNING["blocked"]
+        finally:
+            monkeypatch.delenv("REPRO_KERNEL_TUNE")
+            dispatch.reload_tuning()
+
+    def test_tuned_sizes_stay_exact(self, rng, tmp_path, monkeypatch):
+        """Whatever the autotuner persists, results are unchanged."""
+        monkeypatch.setenv("REPRO_KERNEL_TUNE", str(tmp_path / "tune.json"))
+        dispatch.reload_tuning()
+        try:
+            a, b = random_operands(MIN_PLUS, 50, 70, 30, rng)
+            want = semiring_matmul(a, b, MIN_PLUS, kernel="reference")
+            dispatch.save_tuning({
+                "blocked": {"block_l": 5, "block_k": 13, "block_m": 7},
+                "pruned": {"block_l": 11, "dead_frac": 0.5},
+            })
+            for kernel in ("blocked", "pruned"):
+                got = semiring_matmul(a, b, MIN_PLUS, kernel=kernel)
+                assert np.array_equal(got, want), kernel
+        finally:
+            monkeypatch.delenv("REPRO_KERNEL_TUNE")
+            dispatch.reload_tuning()
+
+
+class TestFrontierRelaxation:
+    def _relaxer_and_dist(self, g, semiring, n_sources, rng):
+        relaxer = EdgeRelaxer.from_graph(g, semiring)
+        srcs = rng.integers(0, g.n, size=n_sources)
+        return relaxer, initial_distances(g.n, srcs, semiring)
+
+    @pytest.mark.parametrize("negative", [False, True], ids=["positive", "negative"])
+    def test_relax_rows_equals_full_relax(self, rng, negative):
+        from repro.workloads.generators import apply_potential_weights
+
+        g = grid_digraph((6, 6), rng)
+        if negative:
+            g = apply_potential_weights(g, rng)
+        relaxer, dist_full = self._relaxer_and_dist(g, MIN_PLUS, 5, rng)
+        dist_frontier = dist_full.copy()
+        for _ in range(200):
+            if not relaxer.relax(dist_full):
+                break
+        active = np.arange(dist_frontier.shape[0])
+        for _ in range(200):
+            if not active.size:
+                break
+            active = relaxer.relax_rows(dist_frontier, active)
+        assert np.array_equal(dist_frontier, dist_full)
+
+    def test_relax_rows_subset_and_permuted(self, rng):
+        """A permuted, strict-subset rows array must update exactly those
+        rows (guards the in-place identity-permutation fast path)."""
+        g = grid_digraph((5, 5), rng)
+        relaxer, dist = self._relaxer_and_dist(g, MIN_PLUS, 6, rng)
+        want = dist.copy()
+        for r in (4, 2, 0):
+            for _ in range(200):
+                if not relaxer.relax(want[r : r + 1]):
+                    break
+        got = dist.copy()
+        untouched = got[[1, 3, 5]].copy()
+        active = np.array([4, 2, 0])
+        for _ in range(200):
+            if not active.size:
+                break
+            active = relaxer.relax_rows(got, active)
+        assert np.array_equal(got[[4, 2, 0]], want[[4, 2, 0]])
+        assert np.array_equal(got[[1, 3, 5]], untouched)
+
+    def test_run_phases_groups_shared_relaxers(self, rng):
+        """run_phases with a repeated identical relaxer equals naive repeated
+        relax — frontier pruning across the repetitions is invisible."""
+        from repro.workloads.generators import apply_potential_weights
+
+        g = apply_potential_weights(grid_digraph((6, 6), rng), rng)
+        shared = EdgeRelaxer.from_graph(g, MIN_PLUS)
+        other = EdgeRelaxer(g.src[: g.m // 2], g.dst[: g.m // 2],
+                            g.weight[: g.m // 2].astype(np.float64), MIN_PLUS)
+        relaxers = [shared] * 4 + [other] + [shared] * 4
+        srcs = rng.integers(0, g.n, size=4)
+        want = initial_distances(g.n, srcs, MIN_PLUS)
+        for r in relaxers:
+            r.relax(want)
+        got = initial_distances(g.n, srcs, MIN_PLUS)
+        run_phases(relaxers, got)
+        assert np.array_equal(got, want)
+
+    def test_run_phases_1d(self, rng):
+        g = grid_digraph((5, 5), rng)
+        relaxer = EdgeRelaxer.from_graph(g, MIN_PLUS)
+        want = initial_distances(g.n, np.array([0]), MIN_PLUS)
+        got1d = want[0].copy()
+        relaxer.relax(want)
+        run_phases([relaxer], got1d)
+        assert np.array_equal(got1d, want[0])
+
+    def test_frontier_work_below_full_scan(self, rng):
+        """The ledger must record the pruned (actually scanned) work."""
+        from repro.pram.machine import Ledger
+
+        g = grid_digraph((8, 8), rng)
+        relaxer = EdgeRelaxer.from_graph(g, MIN_PLUS)
+        dist = initial_distances(g.n, np.arange(g.n), MIN_PLUS)
+        led = Ledger()
+        active = np.arange(g.n)
+        phases = 0
+        while active.size:
+            active = relaxer.relax_rows(dist, active, ledger=led)
+            phases += 1
+        full_scan = float(phases) * g.n * g.m
+        assert led.work < full_scan
+
+
+class TestEndToEndKernels:
+    @pytest.mark.parametrize("method", ["leaves_up", "doubling", "doubling_shared"])
+    def test_oracle_distances_invariant_under_kernel(self, grid7, method):
+        """Within one augmentation method, every kernel choice yields the
+        bit-identical oracle (cross-method bit identity is NOT promised —
+        different shortcut sets sum in different float orders)."""
+        from repro.core.api import ShortestPathOracle
+
+        g, tree = grid7
+        want = ShortestPathOracle.build(
+            g, tree, method=method, kernel="reference"
+        ).distances([0, 11, 30])
+        for kernel in ("blocked", "pruned", "auto"):
+            oracle = ShortestPathOracle.build(g, tree, method=method, kernel=kernel)
+            got = oracle.distances([0, 11, 30])
+            assert np.array_equal(got, want), (method, kernel)
+
+    def test_negative_weights_all_kernels(self, grid6_negative):
+        from repro.core.api import ShortestPathOracle
+        from repro.kernels.johnson import johnson
+
+        g, tree = grid6_negative
+        want = johnson(g, [0, 7])
+        for kernel in ("reference", "blocked", "pruned"):
+            oracle = ShortestPathOracle.build(g, tree, kernel=kernel)
+            assert np.allclose(oracle.distances([0, 7]), want, atol=1e-8), kernel

@@ -60,6 +60,24 @@ class TestSemiringMatmul:
         b = np.array([[False, True], [True, False]])
         assert semiring_matmul(a, b, BOOLEAN).tolist() == [[False, True], [False, False]]
 
+    def test_boolean_256_common_neighbors(self):
+        """Regression: a uint8 witness-count GEMM accumulates mod 256, so a
+        pair with exactly 256 common neighbors silently tested as
+        unreachable.  The count must be held in an exact accumulator."""
+        k = 256
+        a = np.ones((1, k), dtype=bool)
+        b = np.ones((k, 1), dtype=bool)
+        for kernel in ("reference", "blocked", "pruned"):
+            assert semiring_matmul(a, b, BOOLEAN, kernel=kernel)[0, 0], kernel
+        # ... and any multiple of 256 among decoys.
+        a_wide = np.zeros((3, 512), dtype=bool)
+        a_wide[0, :256] = True  # 256 witnesses
+        a_wide[1, :1] = True  # 1 witness
+        b_wide = np.ones((512, 2), dtype=bool)
+        b_wide[:, 1] = False
+        got = semiring_matmul(a_wide, b_wide, BOOLEAN)
+        assert got.tolist() == [[True, False], [True, False], [False, False]]
+
     def test_max_min_widest_path(self):
         # widest 2-hop path 0->1->2: min(4, 7) = 4
         a = np.array([[-np.inf, 4.0, -np.inf], [-np.inf, -np.inf, 7.0], [-np.inf] * 3])

@@ -1,0 +1,114 @@
+"""Autotune the blocked/pruned min-plus kernels for this machine.
+
+Block sizes trade temporary-array footprint against Python-loop overhead,
+and the sweet spot depends on cache sizes and the numpy build.  This tool
+times candidate shapes on two representative workloads —
+
+* a dense min-plus square (the late doubling rounds / 3-hop products), and
+* a sparse one-hop-style matrix (~97% 0̄, the early doubling rounds) —
+
+and persists the winners via :func:`repro.kernels.dispatch.save_tuning`, so
+every later :func:`~repro.kernels.minplus.semiring_matmul` call picks them
+up through :func:`~repro.kernels.dispatch.tuning_for`.
+
+Usage: python tools/autotune_kernels.py [--size N] [--repeats R] [--dry-run]
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import time
+
+import numpy as np
+
+from repro.kernels import dispatch
+from repro.kernels.minplus import semiring_matmul
+from repro.core.semiring import MIN_PLUS
+
+#: Candidate grids.  Kept small: the whole sweep is a few dozen timed calls.
+BLOCKED_GRID = {
+    "block_l": (16, 32, 64, 128),
+    "block_k": (32, 64, 128, 256),
+    "block_m": (64, 128, 256),
+}
+PRUNED_GRID = {
+    "block_l": (16, 32, 48, 96),
+    "dead_frac": (1 / 32, 1 / 16, 1 / 8),
+}
+
+
+def _dense_operand(n: int, rng: np.random.Generator) -> np.ndarray:
+    a = rng.uniform(0.1, 10.0, size=(n, n))
+    np.fill_diagonal(a, 0.0)
+    return a
+
+
+def _sparse_operand(n: int, rng: np.random.Generator, density: float = 0.03) -> np.ndarray:
+    a = np.full((n, n), np.inf)
+    m = int(density * n * n)
+    a[rng.integers(0, n, m), rng.integers(0, n, m)] = rng.uniform(0.1, 10.0, m)
+    np.fill_diagonal(a, 0.0)
+    return a
+
+
+def _time_call(a: np.ndarray, kernel: str, tuning: dict, repeats: int) -> float:
+    out = np.empty_like(a)
+    fn = dispatch._KERNELS[kernel]
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn(a, a, MIN_PLUS, out, False, 1 << 22, tuning)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _sweep(a: np.ndarray, kernel: str, grid: dict, repeats: int) -> tuple[dict, float]:
+    names = sorted(grid)
+    best_params, best_t = None, np.inf
+    for combo in itertools.product(*(grid[k] for k in names)):
+        params = dict(zip(names, combo))
+        t = _time_call(a, kernel, params, repeats)
+        if t < best_t:
+            best_params, best_t = params, t
+    return best_params, best_t
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=384, help="operand side length")
+    parser.add_argument("--repeats", type=int, default=3, help="timings per candidate (min kept)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--dry-run", action="store_true", help="print winners, don't persist")
+    args = parser.parse_args(argv)
+
+    dispatch.available_kernels()  # force registration
+    rng = np.random.default_rng(args.seed)
+    n = args.size
+
+    dense = _dense_operand(n, rng)
+    sparse = _sparse_operand(n, rng)
+
+    ref_dense = _time_call(dense, "reference", {}, args.repeats)
+    ref_sparse = _time_call(sparse, "reference", {}, args.repeats)
+    print(f"reference: dense {ref_dense * 1e3:.2f}ms  sparse {ref_sparse * 1e3:.2f}ms  (n={n})")
+
+    blocked_params, blocked_t = _sweep(dense, "blocked", BLOCKED_GRID, args.repeats)
+    print(f"blocked winner {blocked_params}: {blocked_t * 1e3:.2f}ms "
+          f"({ref_dense / blocked_t:.2f}x vs reference on dense)")
+
+    pruned_params, pruned_t = _sweep(sparse, "pruned", PRUNED_GRID, args.repeats)
+    print(f"pruned winner {pruned_params}: {pruned_t * 1e3:.2f}ms "
+          f"({ref_sparse / pruned_t:.2f}x vs reference on sparse)")
+
+    winners = {"blocked": blocked_params, "pruned": pruned_params}
+    if args.dry_run:
+        print("dry run; not persisting")
+        return 0
+    path = dispatch.save_tuning(winners)
+    print(f"persisted to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
