@@ -23,6 +23,7 @@ Quick start::
 
 from .core.api import ShortestPathOracle
 from .core.augment import Augmentation, NegativeCycleDetected, NodeDistances
+from .core.config import OracleConfig
 from .core.digraph import WeightedDigraph
 from .core.doubling import augment_doubling
 from .core.doubling_shared import augment_doubling_shared
@@ -48,6 +49,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ShortestPathOracle",
+    "OracleConfig",
     "WeightedDigraph",
     "SeparatorTree",
     "SepTreeNode",

@@ -7,6 +7,7 @@ Subcommands
 ``stats``   build the oracle on a generated workload and print its numbers
 ``table1``  quick Table-1-style sweep (ledger work vs n, fitted exponents)
 ``query``   serve batched multi-source queries via the persistent engine
+``serve``   run the async coalescing query server on a socket
 ``selftest`` end-to-end install verification against independent baselines
 ``report``  aggregate benchmark results into one document
 """
@@ -17,6 +18,40 @@ import argparse
 import sys
 
 import numpy as np
+
+
+def _oracle_config_from_args(args):
+    """One :class:`~repro.core.config.OracleConfig` from the shared
+    workload/build flags — the CLI-side of the config consolidation (every
+    subcommand builds through this instead of repeating the kwargs)."""
+    from .core.config import OracleConfig
+
+    return OracleConfig(
+        method=getattr(args, "method", "leaves_up"),
+        leaf_size=getattr(args, "leaf_size", 8),
+        kernel=getattr(args, "kernel", None),
+        executor=getattr(args, "build_backend", None) or "serial",
+        engine=getattr(args, "engine", "scheduled"),
+    )
+
+
+def _workload_from_args(args):
+    """``(graph, tree)`` for the shared ``--family/--n/--leaf-size/--seed``
+    flags (tree is ``None`` for families that self-decompose in build)."""
+    from .separators.grid import decompose_grid
+    from .workloads.generators import delaunay_digraph, grid_digraph
+
+    rng = np.random.default_rng(args.seed)
+    if args.family == "grid":
+        side = int(round(np.sqrt(args.n)))
+        g = grid_digraph((side, side), rng)
+        tree = decompose_grid(g, (side, side), leaf_size=args.leaf_size)
+    else:
+        g, _ = delaunay_digraph(args.n, rng)
+        from .separators.planar import decompose_planar
+
+        tree = decompose_planar(g, leaf_size=args.leaf_size)
+    return g, tree
 
 
 def _cmd_fig1(args) -> int:
@@ -72,21 +107,11 @@ def _cmd_fig2(args) -> int:
 
 def _cmd_stats(args) -> int:
     from .core.api import ShortestPathOracle
-    from .separators.grid import decompose_grid
     from .separators.quality import assess
-    from .workloads.generators import delaunay_digraph, grid_digraph
 
     rng = np.random.default_rng(args.seed)
-    if args.family == "grid":
-        side = int(round(np.sqrt(args.n)))
-        g = grid_digraph((side, side), rng)
-        tree = decompose_grid(g, (side, side), leaf_size=args.leaf_size)
-    else:
-        g, _ = delaunay_digraph(args.n, rng)
-        from .separators.planar import decompose_planar
-
-        tree = decompose_planar(g, leaf_size=args.leaf_size)
-    oracle = ShortestPathOracle.build(g, tree, method=args.method, kernel=args.kernel)
+    g, tree = _workload_from_args(args)
+    oracle = ShortestPathOracle.build(g, tree, config=_oracle_config_from_args(args))
     print("decomposition:", assess(tree).summary())
     for k, v in oracle.stats().items():
         print(f"  {k}: {v}")
@@ -165,28 +190,21 @@ def _cmd_query(args) -> int:
     import time
 
     from .core.api import ShortestPathOracle
-    from .separators.grid import decompose_grid
-    from .workloads.generators import delaunay_digraph, grid_digraph
 
     rng = np.random.default_rng(args.seed)
-    if args.family == "grid":
-        side = int(round(np.sqrt(args.n)))
-        g = grid_digraph((side, side), rng)
-        tree = decompose_grid(g, (side, side), leaf_size=args.leaf_size)
-    else:
-        g, _ = delaunay_digraph(args.n, rng)
-        from .separators.planar import decompose_planar
-
-        tree = decompose_planar(g, leaf_size=args.leaf_size)
+    g, tree = _workload_from_args(args)
+    cfg = _oracle_config_from_args(args).replace(executor=args.backend)
     t0 = time.perf_counter()
-    oracle = ShortestPathOracle.build(g, tree, method=args.method, kernel=args.kernel)
+    oracle = ShortestPathOracle.build(
+        g, tree, config=cfg.replace(executor="serial")
+    )
     build_s = time.perf_counter() - t0
     print(f"built oracle: n={g.n} m={g.m} |E+|={oracle.augmentation.size} "
           f"({build_s:.3f}s)")
     batches = [
         rng.integers(0, g.n, size=args.sources) for _ in range(args.batches)
     ]
-    with oracle.query_engine(executor=args.backend, engine=args.engine) as eng:
+    with oracle.query_engine(cfg) as eng:
         t0 = time.perf_counter()
         dists = [eng.query(b) for b in batches]
         serve_s = time.perf_counter() - t0
@@ -203,6 +221,58 @@ def _cmd_query(args) -> int:
         same = np.array_equal(want, dists[0])
         print(f"bit-identical to serial {args.engine} pass: {same}")
         return 0 if same else 1
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Run the async coalescing query server (see :mod:`repro.server` and
+    DESIGN.md §6) over a built — or loaded — oracle until SIGINT/SIGTERM,
+    then drain and shut down gracefully."""
+    import asyncio
+    import signal
+
+    from .core.api import ShortestPathOracle
+    from .server import OracleServer, ServerConfig
+
+    cfg = _oracle_config_from_args(args).replace(executor=args.backend)
+    if args.load:
+        oracle = ShortestPathOracle.load(args.load)
+        print(f"loaded oracle from {args.load}: n={oracle.graph.n} "
+              f"m={oracle.graph.m} |E+|={oracle.augmentation.size}")
+    else:
+        g, tree = _workload_from_args(args)
+        oracle = ShortestPathOracle.build(
+            g, tree, config=cfg.replace(executor="serial")
+        )
+        print(f"built oracle: n={g.n} m={g.m} |E+|={oracle.augmentation.size}")
+    server_cfg = ServerConfig(
+        path=args.socket,
+        host=args.host,
+        port=args.port,
+        max_batch_rows=args.max_batch,
+        max_wait_us=args.max_wait_us,
+        queue_limit=args.queue_limit,
+        request_timeout_ms=args.timeout_ms,
+    )
+
+    async def run() -> None:
+        server = OracleServer(oracle, cfg, server_cfg)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, server.request_shutdown)
+        print(f"serving on {server.address} "
+              f"(backend={cfg.executor} engine={cfg.engine} "
+              f"max_batch={server_cfg.max_batch_rows} "
+              f"max_wait={server_cfg.max_wait_us}µs "
+              f"queue_limit={server_cfg.queue_limit}); Ctrl-C to stop")
+        await server.serve_forever()
+        snap = server.metrics.snapshot()
+        print(f"drained and stopped: {snap['requests_total']} requests, "
+              f"{snap['batches_total']} batches, "
+              f"coalesce factor {snap['coalesce_factor']:.2f}")
+
+    asyncio.run(run())
     return 0
 
 
@@ -326,6 +396,35 @@ def main(argv: list[str] | None = None) -> int:
     p7.add_argument("--check", action="store_true",
                     help="verify the first batch bit-equals a serial pass")
     p7.set_defaults(fn=_cmd_query)
+
+    p8 = sub.add_parser("serve", help="run the async coalescing query server")
+    p8.add_argument("--socket", default=None,
+                    help="serve on this unix-socket path (preferred locally)")
+    p8.add_argument("--host", default="127.0.0.1")
+    p8.add_argument("--port", type=int, default=7470)
+    p8.add_argument("--load", default=None,
+                    help="serve an oracle persisted with ShortestPathOracle.save")
+    p8.add_argument("--family", choices=["grid", "delaunay"], default="grid")
+    p8.add_argument("--n", type=int, default=1024)
+    p8.add_argument("--method",
+                    choices=["leaves_up", "doubling", "doubling_shared"],
+                    default="leaves_up")
+    p8.add_argument("--kernel", choices=["auto", "reference", "blocked", "pruned"],
+                    default=None, help="min-plus matmul kernel for preprocessing")
+    p8.add_argument("--leaf-size", dest="leaf_size", type=int, default=8)
+    p8.add_argument("--seed", type=int, default=0)
+    p8.add_argument("--backend", default="shm",
+                    help="serving executor: serial | thread[:N] | process[:N] | shm[:N]")
+    p8.add_argument("--engine", choices=["scheduled", "naive"], default="scheduled")
+    p8.add_argument("--max-batch", dest="max_batch", type=int, default=256,
+                    help="coalescing cap in source rows per batch")
+    p8.add_argument("--max-wait-us", dest="max_wait_us", type=int, default=2000,
+                    help="coalescing window in microseconds")
+    p8.add_argument("--queue-limit", dest="queue_limit", type=int, default=1024,
+                    help="admitted-but-unfinished requests before shedding (429)")
+    p8.add_argument("--timeout-ms", dest="timeout_ms", type=float, default=30000.0,
+                    help="default per-request timeout")
+    p8.set_defaults(fn=_cmd_serve)
 
     p6 = sub.add_parser("selftest", help="end-to-end install verification")
     p6.add_argument("--seed", type=int, default=0)

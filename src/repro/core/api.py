@@ -22,13 +22,14 @@ import numpy as np
 
 from ..pram.machine import Ledger
 from .augment import Augmentation
+from .config import UNSET, OracleConfig, resolve_config
 from .digraph import WeightedDigraph
 from .doubling import augment_doubling
 from .leaves_up import augment_leaves_up
 from .negcycle import has_negative_cycle
 from .paths import reconstruct_path, shortest_path_tree
 from .scheduler import PhaseSchedule
-from .semiring import MIN_PLUS, Semiring
+from .semiring import Semiring
 from .septree import SeparatorTree, build_separator_tree
 from .sssp import measured_diameter, sssp_naive, sssp_scheduled
 
@@ -80,6 +81,7 @@ class ShortestPathOracle:
         schedule: PhaseSchedule,
         *,
         preprocess_ledger: Ledger,
+        config: OracleConfig | None = None,
     ) -> None:
         self.graph = graph
         self.tree = tree
@@ -87,6 +89,11 @@ class ShortestPathOracle:
         self.schedule = schedule
         self.preprocess_ledger = preprocess_ledger
         self.query_ledger = Ledger()
+        #: The resolved build configuration — reused by
+        #: :meth:`with_new_weights` so rebuilds keep the original
+        #: ``executor`` / ``kernel`` choices, and serializable for the
+        #: server/CLI (``config.to_dict()``).
+        self.config = config if config is not None else OracleConfig()
 
     # -------------------------------------------------------------- #
 
@@ -96,57 +103,73 @@ class ShortestPathOracle:
         graph: WeightedDigraph,
         tree: SeparatorTree | None = None,
         *,
-        separator: str | Callable | None = "auto",
-        method: str = "leaves_up",
-        semiring: Semiring = MIN_PLUS,
-        leaf_size: int = 8,
-        executor="serial",
-        validate: bool = False,
-        keep_node_distances: bool = False,
-        kernel: str | None = None,
+        config: OracleConfig | None = None,
+        separator: str | Callable | None = UNSET,
+        method: str = UNSET,
+        semiring: Semiring = UNSET,
+        leaf_size: int = UNSET,
+        executor=UNSET,
+        validate: bool = UNSET,
+        keep_node_distances: bool = UNSET,
+        kernel: str | None = UNSET,
     ) -> "ShortestPathOracle":
         """Run the full preprocessing pipeline.
+
+        All knobs live on one :class:`~repro.core.config.OracleConfig`
+        (pass ``config=``); the individual kwargs remain as a back-compat
+        overlay with their historical defaults (``method="leaves_up"``,
+        ``semiring=MIN_PLUS``, ``leaf_size=8``, ``executor="serial"``,
+        ``validate=False``, ``keep_node_distances=False``,
+        ``kernel=None``).  A kwarg that contradicts an explicit ``config``
+        emits a :class:`DeprecationWarning` and wins.
 
         Parameters
         ----------
         tree:
             A precomputed separator decomposition (paper comment (iv): it
             depends only on the skeleton and can be reused across weight /
-            direction changes).  When omitted, ``separator`` selects an
-            engine: ``"auto"``/``"spectral"``, ``"planar"``, ``"treewidth"``,
-            or a callable oracle.
-        method:
-            ``"leaves_up"`` (Algorithm 4.1), ``"doubling"`` (Algorithm 4.3),
-            or ``"doubling_shared"`` (Algorithm 4.3 with the Remark 4.4
-            shared pairing table).
-        kernel:
-            Min-plus matmul kernel for the augmentation's inner products —
-            ``"auto"`` (default), ``"reference"``, ``"blocked"`` or
-            ``"pruned"``; see :mod:`repro.kernels.dispatch`.  All choices
-            are bit-identical.
+            direction changes).  When omitted, ``config.separator`` selects
+            an engine: ``"auto"``/``"spectral"``, ``"planar"``,
+            ``"treewidth"``, or a callable oracle.
+        config:
+            See :class:`~repro.core.config.OracleConfig` for the full knob
+            inventory (``method``, ``separator``, ``semiring``,
+            ``leaf_size``, ``executor``, ``kernel``,
+            ``keep_node_distances``, ``validate`` are consumed here; the
+            serving fields ride along untouched for
+            :meth:`query_engine`).
         """
-        if method not in ("leaves_up", "doubling", "doubling_shared"):
-            raise ValueError(
-                "method must be 'leaves_up', 'doubling' or 'doubling_shared'"
-            )
-        ledger = Ledger()
-        tree = _resolve_tree(graph, tree, separator, leaf_size)
-        if validate:
-            tree.validate(graph)
-        if method == "doubling_shared":
-            from .doubling_shared import augment_doubling_shared as build_fn
-        else:
-            build_fn = augment_leaves_up if method == "leaves_up" else augment_doubling
-        aug = build_fn(
-            graph,
-            tree,
-            semiring,
+        cfg = resolve_config(
+            config,
+            separator=separator,
+            method=method,
+            semiring=semiring,
+            leaf_size=leaf_size,
             executor=executor,
-            ledger=ledger,
+            validate=validate,
             keep_node_distances=keep_node_distances,
             kernel=kernel,
         )
-        return cls(graph, tree, aug, aug.schedule(), preprocess_ledger=ledger)
+        ledger = Ledger()
+        tree = _resolve_tree(graph, tree, cfg.separator, cfg.leaf_size)
+        if cfg.validate:
+            tree.validate(graph)
+        if cfg.method == "doubling_shared":
+            from .doubling_shared import augment_doubling_shared as build_fn
+        else:
+            build_fn = (
+                augment_leaves_up if cfg.method == "leaves_up" else augment_doubling
+            )
+        aug = build_fn(
+            graph,
+            tree,
+            cfg.resolved_semiring,
+            executor=cfg.executor,
+            ledger=ledger,
+            keep_node_distances=cfg.keep_node_distances,
+            kernel=cfg.kernel,
+        )
+        return cls(graph, tree, aug, aug.schedule(), preprocess_ledger=ledger, config=cfg)
 
     # -------------------------------------------------------------- #
     # Queries
@@ -174,24 +197,44 @@ class ShortestPathOracle:
 
     def query_engine(
         self,
+        config: OracleConfig | None = None,
         *,
-        executor="shm",
-        engine: str = "scheduled",
-        source_block: int | None = None,
+        executor=UNSET,
+        engine: str = UNSET,
+        source_block: int | None = UNSET,
     ):
         """A persistent :class:`~repro.core.query.QueryEngine` over this
         oracle's augmentation.
 
-        The engine reuses the oracle's cached G⁺ / relaxer / schedule and
-        (on the default ``"shm"`` backend) publishes the compiled phase
-        arrays to shared memory once, so every subsequent batched query
-        ships only row-range descriptors to a warm worker pool.  Close it
-        (or use it as a context manager) when done serving.
+        Takes the same ``(config, *, executor, engine, source_block)``
+        parameter set as :class:`~repro.core.query.QueryEngine` itself;
+        the only difference is the serving default ``executor="shm"``
+        when neither ``config`` nor the kwarg chooses one (a fresh build
+        defaults to ``"serial"``).  The engine reuses the oracle's cached
+        G⁺ / relaxer / schedule and (on the ``"shm"`` backend) publishes
+        the compiled phase arrays to shared memory once, so every
+        subsequent batched query ships only row-range descriptors to a
+        warm worker pool.  Close it (or use it as a context manager) when
+        done serving.
         """
         from .query import QueryEngine
 
-        kwargs = {} if source_block is None else {"source_block": source_block}
-        return QueryEngine(self.augmentation, executor=executor, engine=engine, **kwargs)
+        if config is None:
+            changes = {
+                k: v
+                for k, v in (
+                    ("executor", executor),
+                    ("engine", engine),
+                    ("source_block", source_block),
+                )
+                if v is not UNSET
+            }
+            cfg = OracleConfig(executor="shm").replace(**changes)
+        else:
+            cfg = resolve_config(
+                config, executor=executor, engine=engine, source_block=source_block
+            )
+        return QueryEngine(self.augmentation, cfg)
 
     def distance(self, u: int, v: int) -> float:
         """Exact ``dist_G(u, v)`` (one scheduled pass from ``u``)."""
@@ -261,13 +304,17 @@ class ShortestPathOracle:
         method = self.augmentation.method
         if method not in ("leaves_up", "doubling", "doubling_shared"):
             method = "leaves_up"
-        return ShortestPathOracle.build(
-            graph,
-            self.tree,
+        # Rebuild with the *original* build config — in particular its
+        # executor and kernel choices, which earlier versions silently
+        # dropped back to the defaults here — updating only what the new
+        # instance dictates (method/semiring follow the augmentation,
+        # keep_node_distances follows whether matrices were retained).
+        cfg = self.config.replace(
             method=method,
             semiring=self.semiring,
             keep_node_distances=bool(self.augmentation.node_distances),
         )
+        return ShortestPathOracle.build(graph, self.tree, config=cfg)
 
     def path(self, u: int, v: int) -> list[int] | None:
         """An explicit minimum-weight ``u→v`` path (original edges only)."""
@@ -307,8 +354,17 @@ class ShortestPathOracle:
         from ..io import load_augmentation
 
         aug = load_augmentation(path)
+        method = aug.method
+        if method not in ("leaves_up", "doubling", "doubling_shared"):
+            method = "leaves_up"
+        cfg = OracleConfig(
+            method=method,
+            semiring=aug.semiring,
+            keep_node_distances=bool(aug.node_distances),
+        )
         return cls(
-            aug.graph, aug.tree, aug, aug.schedule(), preprocess_ledger=Ledger()
+            aug.graph, aug.tree, aug, aug.schedule(),
+            preprocess_ledger=Ledger(), config=cfg,
         )
 
     def check_no_negative_cycle(self) -> bool:

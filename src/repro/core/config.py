@@ -1,0 +1,193 @@
+"""One configuration object for the whole pipeline: :class:`OracleConfig`.
+
+The build/serve surface grew one keyword at a time — ``method=`` on
+:meth:`~repro.core.api.ShortestPathOracle.build`, ``executor=`` on the
+augmentation builders, ``engine=`` on the query paths, ``kernel=`` on
+everything — and every layer (facade, query engine, CLI, server) repeated
+the same sprawl.  :class:`OracleConfig` consolidates the knobs into a single
+frozen dataclass that travels intact through ``build`` →
+``oracle.query_engine()`` → the socket server → the CLI.
+
+The three historically overloaded knob names keep their meaning everywhere
+(see ``docs/KNOBS.md`` for the one-page reference):
+
+``engine``
+    *Relaxation mode* of a query: ``"scheduled"`` (one exact §3.2 pass) or
+    ``"naive"`` (full-edge Bellman–Ford to convergence).
+``executor``
+    *Hardware backend* running independent work:
+    ``"serial" | "thread[:N]" | "process[:N]" | "shm[:N]"`` (or an
+    executor instance) per :func:`repro.pram.executor.get_executor`.
+``kernel``
+    *Min-plus matmul implementation* used by preprocessing inner products:
+    ``None``/``"auto" | "reference" | "blocked" | "pruned"`` per
+    :mod:`repro.kernels.dispatch`; all choices are bit-identical.
+
+Back-compat contract
+--------------------
+Every call site that accepts ``config=`` keeps its historical kwargs.  A
+kwarg alone behaves exactly as before (it overlays the defaults).  A kwarg
+*and* a config that disagree emit a :class:`DeprecationWarning` and the
+explicit kwarg wins — so existing callers see zero behavior change, and
+mixed callers are nudged toward the config object.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .semiring import MIN_PLUS, SEMIRINGS, Semiring
+
+__all__ = ["OracleConfig", "UNSET", "resolve_config"]
+
+
+class _Unset:
+    """Sentinel distinguishing 'kwarg not passed' from any real value."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<UNSET>"
+
+
+#: The module-wide sentinel used as the default of every back-compat kwarg.
+UNSET = _Unset()
+
+_METHODS = ("leaves_up", "doubling", "doubling_shared")
+_ENGINES = ("scheduled", "naive")
+_KERNELS = (None, "auto", "reference", "blocked", "pruned")
+
+
+@dataclass(frozen=True)
+class OracleConfig:
+    """Frozen bundle of every pipeline knob (build + serve).
+
+    Attributes
+    ----------
+    method:
+        Augmentation algorithm: ``"leaves_up"`` (Algorithm 4.1),
+        ``"doubling"`` (Algorithm 4.3) or ``"doubling_shared"``
+        (Remark 4.4 shared pairing table).
+    separator:
+        Decomposition engine when no tree is supplied: ``"auto"`` /
+        ``"spectral"``, ``"planar"``, ``"treewidth"``, ``"multilevel"``,
+        ``"lipton_tarjan"``, or a callable separator oracle.
+    semiring:
+        A :class:`~repro.core.semiring.Semiring` or its registry name
+        (``"min_plus"``, ``"boolean"``, …); names keep the config
+        JSON-serializable for the server and CLI.
+    leaf_size:
+        Decomposition recursion stops below this node size.
+    executor:
+        Backend spec per :func:`repro.pram.executor.get_executor`.
+    kernel:
+        Min-plus matmul kernel (:mod:`repro.kernels.dispatch`).
+    keep_node_distances:
+        Retain per-node distance matrices after the build (needed by the
+        k-pair witness oracle; costs memory).
+    validate:
+        Run the decomposition validity check before augmenting.
+    engine:
+        Query relaxation mode: ``"scheduled"`` or ``"naive"``.
+    source_block:
+        Row-block size bounding per-phase temporaries in batched queries
+        (``None`` → :data:`repro.core.sssp.SOURCE_BLOCK`).
+    """
+
+    method: str = "leaves_up"
+    separator: str | Callable | None = "auto"
+    semiring: str | Semiring = MIN_PLUS
+    leaf_size: int = 8
+    executor: Any = "serial"
+    kernel: str | None = None
+    keep_node_distances: bool = False
+    validate: bool = False
+    engine: str = "scheduled"
+    source_block: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.method not in _METHODS:
+            raise ValueError(f"method must be one of {_METHODS}, got {self.method!r}")
+        if self.engine not in _ENGINES:
+            raise ValueError(f"engine must be one of {_ENGINES}, got {self.engine!r}")
+        if self.kernel not in _KERNELS:
+            raise ValueError(f"kernel must be one of {_KERNELS}, got {self.kernel!r}")
+        if isinstance(self.semiring, str) and self.semiring not in SEMIRINGS:
+            raise ValueError(
+                f"unknown semiring {self.semiring!r}; known: {sorted(SEMIRINGS)}"
+            )
+
+    # -------------------------------------------------------------- #
+
+    @property
+    def resolved_semiring(self) -> Semiring:
+        """The :class:`Semiring` instance (resolving a registry name)."""
+        if isinstance(self.semiring, str):
+            return SEMIRINGS[self.semiring]
+        return self.semiring
+
+    def replace(self, **changes) -> "OracleConfig":
+        """A copy with the given fields changed (frozen-friendly)."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able dict (semiring by name; non-string separators and
+        executor instances are rejected — they cannot cross a socket)."""
+        d = dataclasses.asdict(self)
+        d["semiring"] = self.resolved_semiring.name
+        if callable(self.separator):
+            raise TypeError("callable separator is not serializable; pass a name")
+        if not (self.executor is None or isinstance(self.executor, str)):
+            raise TypeError("executor instance is not serializable; pass a spec string")
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "OracleConfig":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected loudly."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        extra = set(d) - known
+        if extra:
+            raise ValueError(f"unknown OracleConfig keys: {sorted(extra)}")
+        return cls(**d)
+
+
+def _values_equal(name: str, a: Any, b: Any) -> bool:
+    if name == "semiring":
+        a = a.name if isinstance(a, Semiring) else a
+        b = b.name if isinstance(b, Semiring) else b
+    return a is b or a == b
+
+
+def resolve_config(config: OracleConfig | None, **overrides) -> OracleConfig:
+    """Merge back-compat kwargs over a config into one resolved config.
+
+    ``overrides`` values equal to :data:`UNSET` are ignored (the kwarg was
+    not passed).  With ``config=None``, the remaining overrides simply fill
+    an :class:`OracleConfig` — the historical kwargs-only path, bit-for-bit.
+    With a config given, an explicitly passed kwarg that *disagrees* with
+    the config emits a :class:`DeprecationWarning` and wins, so legacy
+    callers migrating incrementally never change behavior silently.
+    """
+    changes = {k: v for k, v in overrides.items() if v is not UNSET}
+    if config is None:
+        return OracleConfig(**changes)
+    conflicts = [
+        k for k, v in changes.items() if not _values_equal(k, v, getattr(config, k))
+    ]
+    if conflicts:
+        warnings.warn(
+            "both config= and explicit kwargs were given with different values "
+            f"for {conflicts}; the explicit kwargs win. Pass the value inside "
+            "OracleConfig (kwarg overrides of a config are deprecated).",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return config.replace(**changes) if changes else config

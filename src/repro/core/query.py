@@ -34,6 +34,8 @@ from __future__ import annotations
 
 import itertools
 import os
+import threading
+import time
 from typing import Any
 
 import numpy as np
@@ -41,6 +43,7 @@ import numpy as np
 from ..kernels.bellman_ford import EdgeRelaxer, initial_distances, run_phases
 from ..pram.executor import SerialExecutor, ThreadExecutor, get_executor
 from .augment import Augmentation
+from .config import UNSET, OracleConfig, resolve_config
 from .semiring import SEMIRINGS
 from .sssp import SOURCE_BLOCK, _as_source_array
 
@@ -114,11 +117,23 @@ def _shard_worker(payload: dict[str, Any]) -> dict[str, Any]:
 class QueryEngine:
     """Amortized multi-source distance queries over one augmentation.
 
+    Takes the same ``(config, *, executor, engine, source_block)``
+    parameter set — in the same order — as
+    :meth:`repro.core.api.ShortestPathOracle.query_engine`; only the
+    fallback ``executor`` differs (``"serial"`` here, ``"shm"`` on the
+    serving facade).
+
     Parameters
     ----------
     aug:
         The augmentation to serve queries for; its cached G⁺ / relaxer /
         schedule are (re)used, never rebuilt.
+    config:
+        An :class:`~repro.core.config.OracleConfig`; its ``executor``,
+        ``engine`` and ``source_block`` fields are consumed here (build
+        fields ride along untouched).  The individual kwargs remain as a
+        back-compat overlay; a kwarg contradicting an explicit ``config``
+        emits a :class:`DeprecationWarning` and wins.
     executor:
         Spec or instance per :func:`repro.pram.executor.get_executor`.
         ``"shm:N"`` gives zero-copy sharding; ``"thread:N"`` shards in
@@ -134,16 +149,35 @@ class QueryEngine:
     def __init__(
         self,
         aug: Augmentation,
+        config: OracleConfig | None = None,
         *,
-        executor="serial",
-        engine: str = "scheduled",
-        source_block: int = SOURCE_BLOCK,
+        executor=UNSET,
+        engine: str = UNSET,
+        source_block: int = UNSET,
     ) -> None:
-        if engine not in ("scheduled", "naive"):
-            raise ValueError("engine must be 'scheduled' or 'naive'")
+        if config is None:
+            changes = {
+                k: v
+                for k, v in (
+                    ("executor", executor),
+                    ("engine", engine),
+                    ("source_block", source_block),
+                )
+                if v is not UNSET
+            }
+            config = OracleConfig().replace(**changes)
+        else:
+            config = resolve_config(
+                config, executor=executor, engine=engine, source_block=source_block
+            )
+        self.config = config
+        executor = config.executor
+        engine = config.engine
         self.aug = aug
         self.engine = engine
-        self.source_block = int(source_block)
+        self.source_block = int(
+            SOURCE_BLOCK if config.source_block is None else config.source_block
+        )
         self._exe = get_executor(executor)
         self._owns_exe = isinstance(executor, str) and not isinstance(self._exe, SerialExecutor)
         self._use_shm = getattr(self._exe, "uses_shared_memory", False)
@@ -173,9 +207,14 @@ class QueryEngine:
             )
         elif not isinstance(self._exe, (SerialExecutor, ThreadExecutor)):
             self._spec = self._make_spec(self._dedup_phases(lambda r: r.compiled()))
-        # Telemetry.
+        # Telemetry.  The lock makes submissions (and the counters) safe to
+        # drive from multiple threads — the asyncio server submits batches
+        # from an event-loop executor thread while ``stats`` requests read
+        # the counters from another.
         self.queries_served = 0
         self.rows_served = 0
+        self.last_batch: dict[str, Any] | None = None
+        self._lock = threading.Lock()
 
     def _dedup_phases(self, compile_one) -> list[dict[str, Any]]:
         """Compile (and, on shm, publish) each *distinct* relaxer object
@@ -238,60 +277,87 @@ class QueryEngine:
         """Distance rows for each source: ``(s, n)``, or ``(n,)`` for a bare
         int — bit-identical to :func:`repro.core.sssp.sssp_scheduled`
         (respectively ``sssp_naive``) on the same augmentation."""
-        if self._closed:
-            raise ValueError("engine is closed")
+        return self.submit(sources)[0]
+
+    def submit(self, sources) -> tuple[np.ndarray, dict[str, Any]]:
+        """Batch-submission hook: like :meth:`query`, but also returns the
+        per-batch execution record ``{"rows", "shards", "wall_s"}`` — what a
+        serving layer needs for coalesce-factor / fan-out metrics without
+        re-deriving the sharding.  Thread-safe: concurrent submitters are
+        serialized on the engine lock (shards of *one* batch still run in
+        parallel across the pool)."""
         srcs, single = _as_source_array(sources)
         n = self.aug.graph.n
         semiring = self.aug.semiring
-        dist = initial_distances(n, srcs, semiring)
         s = srcs.shape[0]
         workers = max(1, getattr(self._exe, "workers", 1))
-        self.queries_served += 1
-        self.rows_served += s
-        if workers <= 1 or s < 2:
-            self._run_inline(dist)
-            return dist[0] if single else dist
-        shards = self._shards(s)
-        if self._use_shm:
-            self._ensure_dist_block(s, n, semiring.dtype)
-            self._dist_view[:s] = dist
-            payloads = [
-                {"engine": self._spec, "dist": self._dist_ref, "row_start": a, "row_stop": b}
-                for a, b in shards
-            ]
-            self._exe.map(_shard_worker, payloads)
-            dist[...] = self._dist_view[:s]
-        elif self._spec is not None:  # plain process pool: rows are pickled
-            payloads = [
-                {"engine": self._spec, "rows": dist[a:b]} for a, b in shards
-            ]
-            outs = self._exe.map(_shard_worker, payloads)
-            for (a, b), out in zip(shards, outs):
-                dist[a:b] = out["rows"]
-        else:  # thread pool: shared address space, relax shards in place
-            self._exe.map(lambda ab: self._run_inline(dist[ab[0] : ab[1]]), shards)
-        return dist[0] if single else dist
+        with self._lock:
+            if self._closed:
+                raise ValueError("engine is closed")
+            t0 = time.perf_counter()
+            dist = initial_distances(n, srcs, semiring)
+            self.queries_served += 1
+            self.rows_served += s
+            if workers <= 1 or s < 2:
+                nshards = 1
+                self._run_inline(dist)
+            else:
+                shards = self._shards(s)
+                nshards = len(shards)
+                if self._use_shm:
+                    self._ensure_dist_block(s, n, semiring.dtype)
+                    self._dist_view[:s] = dist
+                    payloads = [
+                        {"engine": self._spec, "dist": self._dist_ref,
+                         "row_start": a, "row_stop": b}
+                        for a, b in shards
+                    ]
+                    self._exe.map(_shard_worker, payloads)
+                    dist[...] = self._dist_view[:s]
+                elif self._spec is not None:  # plain process pool: rows are pickled
+                    payloads = [
+                        {"engine": self._spec, "rows": dist[a:b]} for a, b in shards
+                    ]
+                    outs = self._exe.map(_shard_worker, payloads)
+                    for (a, b), out in zip(shards, outs):
+                        dist[a:b] = out["rows"]
+                else:  # thread pool: shared address space, relax shards in place
+                    self._exe.map(lambda ab: self._run_inline(dist[ab[0] : ab[1]]), shards)
+            info = {
+                "rows": int(s),
+                "shards": int(nshards),
+                "wall_s": time.perf_counter() - t0,
+            }
+            self.last_batch = info
+        return (dist[0] if single else dist), info
 
     def stats(self) -> dict[str, Any]:
-        """Serving counters and amortization-relevant sizes."""
-        return {
-            "engine": self.engine,
-            "backend": getattr(self._exe, "name", "?"),
-            "workers": getattr(self._exe, "workers", 1),
-            "queries_served": self.queries_served,
-            "rows_served": self.rows_served,
-            "phases": len(self._relaxers),
-            "shared_bytes": self._arena.allocated_bytes if self._arena else 0,
-        }
+        """Serving counters and amortization-relevant sizes (reentrant:
+        safe to call from any thread while another thread submits)."""
+        with self._lock:
+            return {
+                "engine": self.engine,
+                "backend": getattr(self._exe, "name", "?"),
+                "workers": getattr(self._exe, "workers", 1),
+                "queries_served": self.queries_served,
+                "rows_served": self.rows_served,
+                "phases": len(self._relaxers),
+                "shared_bytes": self._arena.allocated_bytes if self._arena else 0,
+                "last_batch": None if self.last_batch is None else dict(self.last_batch),
+            }
 
     def close(self) -> None:
         """Release the shared arena (if any) and an owned pool (if any);
-        idempotent.  The augmentation's caches survive for the next engine."""
-        if self._closed:
-            return
-        self._closed = True
-        if self._arena is not None:
-            self._arena.close()
+        idempotent.  Thread-safe: taking the engine lock means a close
+        issued from one thread (e.g. the server's event loop) waits for an
+        in-flight :meth:`submit` on another before unlinking the arena.
+        The augmentation's caches survive for the next engine."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._arena is not None:
+                self._arena.close()
         if self._owns_exe:
             self._exe.close()
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import os
 import secrets
+import threading
 import weakref
 from multiprocessing import shared_memory
 from typing import Any, NamedTuple
@@ -173,6 +174,13 @@ class ShmArena:
         self._cursor = 0
         self._capacity = 0
         self._closed = False
+        # Allocation and close may race across threads once an arena is
+        # owned by an asyncio server: queries grow the distance block from
+        # event-loop executor threads while shutdown closes the arena from
+        # the loop thread itself.  The lock serializes the bump pointer and
+        # makes close-vs-alloc a clean "arena is closed" error instead of
+        # an unlink under a live allocation.
+        self._lock = threading.RLock()
         self._finalizer = weakref.finalize(self, _unlink_segments, self._segments)
 
     # -------------------------------------------------------------- #
@@ -201,20 +209,21 @@ class ShmArena:
         worker-filled output block); the descriptor is what goes into task
         payloads.
         """
-        if self._closed:
-            raise ValueError("arena is closed")
         dtype = np.dtype(dtype)
         if isinstance(shape, (int, np.integer)):
             shape = (int(shape),)
         else:
             shape = tuple(int(s) for s in shape)
         nbytes = max(1, int(np.prod(shape, dtype=np.int64)) * dtype.itemsize)
-        start = (self._cursor + _ALIGN - 1) & ~(_ALIGN - 1)
-        if not self._segments or start + nbytes > self._capacity:
-            self._new_segment(nbytes)
-            start = 0
-        seg = self._segments[-1]
-        self._cursor = start + nbytes
+        with self._lock:
+            if self._closed:
+                raise ValueError("arena is closed")
+            start = (self._cursor + _ALIGN - 1) & ~(_ALIGN - 1)
+            if not self._segments or start + nbytes > self._capacity:
+                self._new_segment(nbytes)
+                start = 0
+            seg = self._segments[-1]
+            self._cursor = start + nbytes
         ref = ArrayRef(seg.name, start, tuple(shape), dtype.str)
         view = np.ndarray(ref.shape, dtype=dtype, buffer=seg.buf, offset=start)
         return ref, view
@@ -227,12 +236,14 @@ class ShmArena:
         return ref
 
     def close(self) -> None:
-        """Unlink every segment (idempotent).  No entry survives in
-        ``/dev/shm``; mappings held by live views drain lazily."""
-        if not self._closed:
-            self._closed = True
-            self._finalizer.detach()
-            _unlink_segments(self._segments)
+        """Unlink every segment (idempotent, thread-safe).  No entry
+        survives in ``/dev/shm``; mappings held by live views drain
+        lazily."""
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                self._finalizer.detach()
+                _unlink_segments(self._segments)
 
     def __enter__(self) -> "ShmArena":
         """Context-manager entry: the arena itself."""

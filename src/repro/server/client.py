@@ -1,0 +1,145 @@
+"""Blocking client for the query server: :class:`OracleClient`.
+
+A thin synchronous wrapper over the JSON-line protocol — one socket, one
+request in flight at a time, responses matched by id.  Intended for worker
+processes, notebooks and the CLI; concurrency comes from many clients (the
+server coalesces them), not from pipelining inside one client.
+
+    >>> with OracleClient("/tmp/oracle.sock") as c:
+    ...     d = c.distances([0, 17])          # (2, n) ndarray
+    ...     who, dist = c.nearest_source([3, 9])
+    ...     hops = c.path(0, 35)
+    ...     c.stats()["server"]["coalesce_factor"]
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import time
+from typing import Any
+
+import numpy as np
+
+from .protocol import ServerError, decode, encode
+
+__all__ = ["OracleClient"]
+
+
+class OracleClient:
+    """Blocking connection to an :class:`~repro.server.OracleServer`.
+
+    Parameters
+    ----------
+    address:
+        A unix-socket path (``str``) or a ``(host, port)`` tuple.
+    timeout:
+        Socket timeout in seconds for each call (also sent to the server
+        as the request's ``timeout_ms`` so both sides agree).
+    connect_retry_s:
+        Keep retrying the initial connection for this long — covers the
+        race of a client starting before the server finished binding.
+    """
+
+    def __init__(
+        self,
+        address: str | tuple[str, int],
+        *,
+        timeout: float = 30.0,
+        connect_retry_s: float = 5.0,
+    ) -> None:
+        self.address = address
+        self.timeout = float(timeout)
+        self._ids = itertools.count()
+        self._sock = self._connect(address, connect_retry_s)
+        self._sock.settimeout(self.timeout)
+        self._file = self._sock.makefile("rwb")
+
+    @staticmethod
+    def _connect(address, retry_s: float) -> socket.socket:
+        deadline = time.monotonic() + max(0.0, retry_s)
+        while True:
+            try:
+                if isinstance(address, str):
+                    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                    sock.connect(address)
+                    return sock
+                return socket.create_connection(tuple(address))
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.02)
+
+    # ------------------------------------------------------------ #
+
+    def _call(self, op: str, **fields: Any) -> dict[str, Any]:
+        req_id = next(self._ids)
+        req = {"id": req_id, "op": op, "timeout_ms": self.timeout * 1e3, **fields}
+        self._file.write(encode(req))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        resp = decode(line)
+        if resp.get("id") != req_id:
+            raise ServerError(500, f"response id mismatch: {resp.get('id')!r}")
+        if not resp.get("ok"):
+            raise ServerError(resp.get("code", 500), resp.get("error", "unknown error"))
+        return resp["result"]
+
+    def ping(self) -> bool:
+        """Round-trip liveness check."""
+        return bool(self._call("ping").get("pong"))
+
+    def distances(self, sources) -> np.ndarray:
+        """Distance rows for each source: ``(s, n)``, or ``(n,)`` for a
+        bare int — the server-side equivalent of
+        :meth:`QueryEngine.query`."""
+        single = isinstance(sources, (int, np.integer))
+        srcs = [int(sources)] if single else [int(s) for s in sources]
+        out = np.asarray(self._call("distances", sources=srcs)["distances"], dtype=np.float64)
+        return out[0] if single else out
+
+    def nearest_source(self, sources) -> tuple[np.ndarray, np.ndarray]:
+        """Per-vertex closest source and its distance (multi-depot
+        assignment); unreachable vertices get source −1 and +inf."""
+        res = self._call("nearest_source", sources=[int(s) for s in sources])
+        return (
+            np.asarray(res["assigned"], dtype=np.int64),
+            np.asarray(res["distance"], dtype=np.float64),
+        )
+
+    def path(self, source: int, target: int) -> list[int] | None:
+        """An explicit minimum-weight path (original edges), or ``None``."""
+        return self._call("path", source=int(source), target=int(target))["path"]
+
+    def path_with_distance(self, source: int, target: int) -> tuple[list[int] | None, float]:
+        """``(path, distance)`` in one round trip."""
+        res = self._call("path", source=int(source), target=int(target))
+        return res["path"], float(res["distance"])
+
+    def stats(self) -> dict[str, Any]:
+        """Server + engine telemetry snapshot (see
+        :class:`~repro.server.metrics.ServerMetrics`)."""
+        return self._call("stats")
+
+    # ------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Close the socket (idempotent)."""
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "OracleClient":
+        """Context-manager entry: the client itself."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Context-manager exit: close the socket."""
+        self.close()

@@ -1,0 +1,169 @@
+"""Lightweight serving telemetry: :class:`ServerMetrics`.
+
+Counters plus bounded latency reservoirs — cheap enough to update on every
+request on the event loop, rich enough to answer the questions that matter
+for a coalescing server: *how much did batching help* (coalesce factor,
+shard fan-out), *where does time go* (queue wait vs batch wall vs
+end-to-end latency, p50/p99), and *what got refused* (sheds, timeouts).
+
+Everything here is mutated from the event-loop thread only, so there is no
+lock; :meth:`snapshot` returns plain JSON-able floats for the ``stats``
+request and ``benchmarks/bench_server.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["Reservoir", "ServerMetrics"]
+
+
+class Reservoir:
+    """Ring buffer of the most recent ``cap`` float samples with exact
+    percentiles over the retained window (recent-window percentiles are
+    what serving dashboards want; a tiny fixed memory bound is the cost)."""
+
+    def __init__(self, cap: int = 4096) -> None:
+        self._cap = int(cap)
+        self._buf: list[float] = []
+        self._next = 0
+        self.count = 0
+        self.total = 0.0
+
+    def add(self, value: float) -> None:
+        """Record one sample (evicting the oldest beyond the cap)."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if len(self._buf) < self._cap:
+            self._buf.append(value)
+        else:
+            self._buf[self._next] = value
+            self._next = (self._next + 1) % self._cap
+
+
+    def percentile(self, p: float) -> float:
+        """Exact ``p``-th percentile (0–100) of the retained window; NaN
+        when empty (nearest-rank on the sorted window)."""
+        if not self._buf:
+            return float("nan")
+        data = sorted(self._buf)
+        rank = min(len(data) - 1, max(0, round(p / 100.0 * (len(data) - 1))))
+        return data[rank]
+
+    @property
+    def mean(self) -> float:
+        """Mean over *all* samples ever recorded (not just the window)."""
+        return self.total / self.count if self.count else float("nan")
+
+    def summary(self) -> dict[str, float]:
+        """``{count, mean, p50, p99}`` — the serving four-number summary."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+        }
+
+
+class ServerMetrics:
+    """All counters and reservoirs of one :class:`~repro.server.OracleServer`.
+
+    Batch-shape metrics (coalesce factor, shard fan-out) come from the
+    engine's per-batch records (:meth:`repro.core.query.QueryEngine.submit`);
+    latency metrics are measured here, at the serving layer.
+    """
+
+    def __init__(self) -> None:
+        self.requests_total = 0
+        self.requests_by_op: dict[str, int] = {}
+        self.shed_total = 0
+        self.timeout_total = 0
+        self.error_total = 0
+        self.batches_total = 0
+        self.coalesced_requests_total = 0
+        self.rows_total = 0
+        self.shards_total = 0
+        self.max_coalesce = 0
+        #: seconds a request sat admitted-but-unbatched (the coalesce tick)
+        self.queue_wait_s = Reservoir()
+        #: seconds one engine batch took wall-clock
+        self.batch_wall_s = Reservoir()
+        #: seconds from request decode to response write (row ops only)
+        self.request_latency_s = Reservoir()
+
+    # ---------------------------------------------------------- #
+
+    def record_request(self, op: str) -> None:
+        """Count one decoded request of ``op``."""
+        self.requests_total += 1
+        self.requests_by_op[op] = self.requests_by_op.get(op, 0) + 1
+
+    def record_shed(self) -> None:
+        """Count one request refused by backpressure (429)."""
+        self.shed_total += 1
+
+    def record_timeout(self) -> None:
+        """Count one request that timed out waiting for its batch (504)."""
+        self.timeout_total += 1
+
+    def record_error(self) -> None:
+        """Count one request answered with a non-shed, non-timeout error."""
+        self.error_total += 1
+
+    def record_batch(
+        self,
+        n_requests: int,
+        rows: int,
+        shards: int,
+        wall_s: float,
+        queue_waits_s: list[float],
+    ) -> None:
+        """Record one coalesced engine batch and its member queue waits."""
+        self.batches_total += 1
+        self.coalesced_requests_total += int(n_requests)
+        self.rows_total += int(rows)
+        self.shards_total += int(shards)
+        self.max_coalesce = max(self.max_coalesce, int(n_requests))
+        self.batch_wall_s.add(wall_s)
+        for w in queue_waits_s:
+            self.queue_wait_s.add(w)
+
+    def record_latency(self, seconds: float) -> None:
+        """Record one row-op end-to-end latency."""
+        self.request_latency_s.add(seconds)
+
+    # ---------------------------------------------------------- #
+
+    @property
+    def coalesce_factor(self) -> float:
+        """Mean requests merged per engine batch (>1 ⇔ coalescing works)."""
+        return (
+            self.coalesced_requests_total / self.batches_total
+            if self.batches_total
+            else float("nan")
+        )
+
+    @property
+    def shard_fanout(self) -> float:
+        """Mean worker shards per engine batch."""
+        return self.shards_total / self.batches_total if self.batches_total else float("nan")
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able summary for the ``stats`` op and the benchmarks."""
+        return {
+            "requests_total": self.requests_total,
+            "requests_by_op": dict(self.requests_by_op),
+            "shed_total": self.shed_total,
+            "timeout_total": self.timeout_total,
+            "error_total": self.error_total,
+            "batches_total": self.batches_total,
+            "coalesced_requests_total": self.coalesced_requests_total,
+            "rows_total": self.rows_total,
+            "coalesce_factor": self.coalesce_factor,
+            "max_coalesce": self.max_coalesce,
+            "shard_fanout": self.shard_fanout,
+            "queue_wait_s": self.queue_wait_s.summary(),
+            "batch_wall_s": self.batch_wall_s.summary(),
+            "request_latency_s": self.request_latency_s.summary(),
+        }

@@ -1,0 +1,91 @@
+"""Wire protocol of the query server: JSON lines over a stream socket.
+
+One request per line, one response per line; framing is a single ``\\n``.
+Both sides are Python, so non-finite distances travel as the ``json``
+module's ``Infinity`` / ``-Infinity`` literals (a documented deviation from
+strict JSON — unreachable vertices are +inf and must survive the trip).
+
+Request shape::
+
+    {"id": <any>, "op": "distances", "sources": [0, 17]}
+    {"id": <any>, "op": "nearest_source", "sources": [3, 9, 12]}
+    {"id": <any>, "op": "path", "source": 0, "target": 35}
+    {"id": <any>, "op": "stats"}
+    {"id": <any>, "op": "ping"}
+
+Response shape::
+
+    {"id": <same>, "ok": true,  "result": {...}}
+    {"id": <same>, "ok": false, "code": 429, "error": "..."}
+
+``id`` is opaque to the server and echoed verbatim — clients use it to
+match responses (the server answers each connection's requests as they
+complete, which is not necessarily arrival order once batches coalesce).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = [
+    "OK",
+    "BAD_REQUEST",
+    "OVERLOADED",
+    "INTERNAL",
+    "UNAVAILABLE",
+    "TIMEOUT",
+    "ROW_OPS",
+    "ServerError",
+    "encode",
+    "decode",
+    "ok_response",
+    "error_response",
+]
+
+#: Status codes, HTTP-flavored so dashboards read them without a legend.
+OK = 200
+BAD_REQUEST = 400
+OVERLOADED = 429        # bounded-queue shed (backpressure)
+INTERNAL = 500
+UNAVAILABLE = 503       # server is draining for shutdown
+TIMEOUT = 504
+
+#: Ops whose answer needs distance rows — these are the ones the server
+#: coalesces into shared :meth:`QueryEngine.submit` batches.
+ROW_OPS = ("distances", "nearest_source", "path")
+
+
+class ServerError(RuntimeError):
+    """A non-ok response, surfaced client-side with its status code."""
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = int(code)
+        self.message = message
+
+
+def encode(obj: dict[str, Any]) -> bytes:
+    """One JSON line, ready to write (compact separators, ``\\n`` framed)."""
+    return (json.dumps(obj, separators=(",", ":")) + "\n").encode()
+
+
+def decode(line: bytes | str) -> dict[str, Any]:
+    """Parse one received line; raises :class:`ServerError` (400) on junk."""
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ServerError(BAD_REQUEST, f"malformed JSON line: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ServerError(BAD_REQUEST, "request must be a JSON object")
+    return obj
+
+
+def ok_response(req_id: Any, result: dict[str, Any]) -> dict[str, Any]:
+    """Success envelope for ``req_id``."""
+    return {"id": req_id, "ok": True, "result": result}
+
+
+def error_response(req_id: Any, code: int, message: str) -> dict[str, Any]:
+    """Failure envelope for ``req_id``."""
+    return {"id": req_id, "ok": False, "code": int(code), "error": message}

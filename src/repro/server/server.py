@@ -1,0 +1,482 @@
+"""Async batched query server: :class:`OracleServer`.
+
+The paper's economics (§3.2) make *batches* cheap — one augmentation pass,
+then every source row is an independent O(ℓ|E| + |E⁺|) relaxation — but
+network clients arrive one small request at a time.  This server closes
+that gap with **request coalescing**: concurrent ``distances`` /
+``nearest_source`` / ``path`` requests are admitted into a queue, and a
+single batcher task gathers everything that arrives within one *coalesce
+tick* (``max_wait_us``, capped at ``max_batch_rows`` source rows) into one
+:meth:`~repro.core.query.QueryEngine.submit` call.  The engine shards that
+one batch row-wise across its warm pool (shm backend: zero-copy), so 32
+single-source clients cost one sharded batch, not 32 engine round trips.
+
+Operational behavior:
+
+* **backpressure** — at most ``queue_limit`` row requests may be admitted
+  and unfinished; beyond that the server sheds with a 429-style error
+  instead of queueing unboundedly;
+* **timeouts** — each request waits at most ``request_timeout_ms`` (or its
+  own ``timeout_ms`` field) for its batch; a late batch still completes,
+  the response is a 504;
+* **graceful shutdown** — :meth:`stop` first stops accepting connections,
+  then lets the batcher *drain* every admitted request, and only then
+  closes the engine (which unlinks the shm arena) and the remaining
+  connections.  Ordering matters: the arena must outlive the last batch
+  that references it (see DESIGN.md §6).
+
+The event loop never runs the relaxation itself — batches run on the
+loop's default thread-pool executor, and :meth:`QueryEngine.submit` /
+``stats`` are thread-safe (engine lock), which is what lets ``stats``
+requests stream back while a batch is in flight.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core.api import ShortestPathOracle
+from ..core.config import OracleConfig
+from ..core.paths import reconstruct_path, shortest_path_tree
+from .metrics import ServerMetrics
+from .protocol import (
+    BAD_REQUEST,
+    INTERNAL,
+    OVERLOADED,
+    ROW_OPS,
+    TIMEOUT,
+    UNAVAILABLE,
+    ServerError,
+    decode,
+    encode,
+    error_response,
+    ok_response,
+)
+
+__all__ = ["ServerConfig", "OracleServer"]
+
+#: Stream buffer limit — a request line listing thousands of sources (or a
+#: response carrying (s, n) distances) far exceeds asyncio's 64 KiB default.
+_STREAM_LIMIT = 16 << 20
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Serving knobs of one :class:`OracleServer`.
+
+    Attributes
+    ----------
+    path:
+        Unix-socket path; when set, TCP ``host``/``port`` are ignored
+        (local serving should prefer this — no TCP stack in the latency).
+    host, port:
+        TCP address; ``port=0`` binds an ephemeral port (read it back from
+        :attr:`OracleServer.address`).
+    max_batch_rows:
+        Coalescing cap — a batch closes early once this many source rows
+        are gathered.
+    max_wait_us:
+        Coalescing window in microseconds — how long the batcher holds the
+        first request of a tick open for companions.  0 disables
+        coalescing (every request is its own batch).
+    queue_limit:
+        Maximum admitted-but-unfinished row requests; beyond it the server
+        sheds with :data:`~repro.server.protocol.OVERLOADED` (429).
+    request_timeout_ms:
+        Default per-request wait for its batch result; a request may lower
+        or raise its own via a ``timeout_ms`` field.
+    """
+
+    path: str | None = None
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_batch_rows: int = 256
+    max_wait_us: int = 2000
+    queue_limit: int = 1024
+    request_timeout_ms: float = 30_000.0
+
+
+@dataclass
+class _Pending:
+    """One admitted row request waiting for its coalesced batch."""
+
+    sources: np.ndarray
+    fut: asyncio.Future
+    t_enqueue: float
+    rows: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.rows = int(self.sources.shape[0])
+
+
+class OracleServer:
+    """Asyncio TCP/Unix-socket front end over a warm
+    :class:`~repro.core.query.QueryEngine`.
+
+    Parameters
+    ----------
+    oracle:
+        The built (or loaded) oracle to serve.
+    config:
+        :class:`~repro.core.config.OracleConfig` for the serving engine —
+        its ``executor`` / ``engine`` / ``source_block`` fields select the
+        backend exactly as in :meth:`ShortestPathOracle.query_engine`
+        (default: the shm pool).
+    server:
+        :class:`ServerConfig` with the socket address and the coalescing /
+        backpressure / timeout knobs.
+    """
+
+    def __init__(
+        self,
+        oracle: ShortestPathOracle,
+        config: OracleConfig | None = None,
+        server: ServerConfig | None = None,
+    ) -> None:
+        self.oracle = oracle
+        self.engine_config = config
+        self.server_config = server if server is not None else ServerConfig()
+        self.metrics = ServerMetrics()
+        self.engine = None
+        self._server: asyncio.AbstractServer | None = None
+        self._queue: asyncio.Queue | None = None
+        self._batcher: asyncio.Task | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._pending = 0
+        self._draining = False
+        self._stopped = False
+        self._started = False
+        self._stop_event: asyncio.Event | None = None
+        self._t_start = 0.0
+
+    # ------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------ #
+
+    @property
+    def address(self) -> str | tuple[str, int]:
+        """Where the server listens: the unix path, or ``(host, port)``
+        with the actually-bound port (useful with ``port=0``)."""
+        cfg = self.server_config
+        if cfg.path is not None:
+            return cfg.path
+        if self._server is not None and self._server.sockets:
+            host, port = self._server.sockets[0].getsockname()[:2]
+            return (host, port)
+        return (cfg.host, cfg.port)
+
+    async def start(self) -> None:
+        """Bind the socket, build the serving engine, start the batcher."""
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        loop = asyncio.get_running_loop()
+        self._t_start = loop.time()
+        self._queue = asyncio.Queue()
+        self._stop_event = asyncio.Event()
+        # Engine construction compiles/publishes the phase arrays — keep
+        # the loop responsive by doing it on the executor.
+        self.engine = await loop.run_in_executor(
+            None, lambda: self.oracle.query_engine(self.engine_config)
+        )
+        self._batcher = asyncio.create_task(self._batch_loop())
+        cfg = self.server_config
+        if cfg.path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_conn, path=cfg.path, limit=_STREAM_LIMIT
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_conn, cfg.host, cfg.port, limit=_STREAM_LIMIT
+            )
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain, then close the engine.
+
+        Ordering is load-bearing: (1) the listener closes so no new work
+        arrives; (2) already-admitted requests drain through the batcher —
+        their responses still go out; (3) only then does the engine close,
+        unlinking the shm arena the drained batches were still reading;
+        (4) remaining connections are closed.  Idempotent.
+        """
+        if self._stopped or not self._started:
+            self._stopped = True
+            return
+        self._stopped = True
+        self._draining = True  # new row ops answer 503 from here on
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self._queue.put(None)  # sentinel: batcher drains, then exits
+        if self._batcher is not None:
+            await self._batcher
+        loop = asyncio.get_running_loop()
+        if self.engine is not None:
+            await loop.run_in_executor(None, self.engine.close)
+        for writer in list(self._writers):
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    def request_shutdown(self) -> None:
+        """Signal-safe shutdown trigger for :meth:`serve_forever`."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until :meth:`request_shutdown` (or
+        cancellation), then stop gracefully."""
+        if not self._started:
+            await self.start()
+        try:
+            await self._stop_event.wait()
+        finally:
+            await self.stop()
+
+    async def __aenter__(self) -> "OracleServer":
+        """Async context entry: the started server."""
+        if not self._started:
+            await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        """Async context exit: graceful stop."""
+        await self.stop()
+
+    # ------------------------------------------------------------ #
+    # Connections and requests
+    # ------------------------------------------------------------ #
+
+    async def _write(self, writer, wlock: asyncio.Lock, obj: dict) -> None:
+        data = encode(obj)
+        with contextlib.suppress(ConnectionResetError, BrokenPipeError, RuntimeError):
+            async with wlock:
+                writer.write(data)
+                await writer.drain()
+
+    async def _handle_conn(self, reader, writer) -> None:
+        self._writers.add(writer)
+        wlock = asyncio.Lock()  # responses interleave per request-task
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    req = decode(line)
+                except ServerError as exc:
+                    self.metrics.record_error()
+                    await self._write(
+                        writer, wlock, error_response(None, exc.code, exc.message)
+                    )
+                    continue
+                task = asyncio.create_task(self._handle_request(req, writer, wlock))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (ConnectionResetError, asyncio.LimitOverrunError, ValueError):
+            pass
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            self._writers.discard(writer)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _handle_request(self, req: dict, writer, wlock: asyncio.Lock) -> None:
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        req_id = req.get("id")
+        op = req.get("op")
+        self.metrics.record_request(op if isinstance(op, str) else "?")
+        try:
+            if op == "ping":
+                resp = ok_response(req_id, {"pong": True})
+            elif op == "stats":
+                resp = ok_response(req_id, await self._stats_result())
+            elif op in ROW_OPS:
+                resp = await self._row_op(req_id, op, req, t0)
+            else:
+                raise ServerError(BAD_REQUEST, f"unknown op {op!r}")
+        except ServerError as exc:
+            if exc.code == OVERLOADED:
+                self.metrics.record_shed()
+            elif exc.code == TIMEOUT:
+                self.metrics.record_timeout()
+            else:
+                self.metrics.record_error()
+            resp = error_response(req_id, exc.code, exc.message)
+        except Exception as exc:  # defensive: a bug must not kill the conn
+            self.metrics.record_error()
+            resp = error_response(req_id, INTERNAL, f"{type(exc).__name__}: {exc}")
+        await self._write(writer, wlock, resp)
+
+    def _parse_sources(self, op: str, req: dict) -> np.ndarray:
+        n = self.oracle.graph.n
+        if op == "path":
+            raw = [req.get("source")]
+        else:
+            raw = req.get("sources")
+        if not isinstance(raw, (list, tuple)) or not raw:
+            raise ServerError(
+                BAD_REQUEST,
+                "'source' must be an int" if op == "path"
+                else "'sources' must be a non-empty list of ints",
+            )
+        try:
+            srcs = np.asarray(raw, dtype=np.int64)
+        except (TypeError, ValueError) as exc:
+            raise ServerError(BAD_REQUEST, f"non-integer source: {exc}") from exc
+        if srcs.ndim != 1 or srcs.size == 0:
+            raise ServerError(BAD_REQUEST, "sources must be a flat non-empty list")
+        if (srcs < 0).any() or (srcs >= n).any():
+            raise ServerError(BAD_REQUEST, f"source out of range [0, {n})")
+        return srcs
+
+    async def _row_op(self, req_id, op: str, req: dict, t0: float) -> dict:
+        if self._draining:
+            raise ServerError(UNAVAILABLE, "server is shutting down")
+        srcs = self._parse_sources(op, req)
+        if self._pending >= self.server_config.queue_limit:
+            raise ServerError(
+                OVERLOADED,
+                f"queue limit {self.server_config.queue_limit} reached; retry later",
+            )
+        loop = asyncio.get_running_loop()
+        pending = _Pending(srcs, loop.create_future(), loop.time())
+        self._pending += 1
+        self._queue.put_nowait(pending)
+        timeout_ms = req.get("timeout_ms", self.server_config.request_timeout_ms)
+        try:
+            rows = await asyncio.wait_for(pending.fut, float(timeout_ms) / 1e3)
+        except asyncio.TimeoutError:
+            # The batch still completes server-side; only the response is
+            # given up (the batcher skips done/cancelled futures).
+            raise ServerError(
+                TIMEOUT, f"timed out after {float(timeout_ms):.0f} ms"
+            ) from None
+        result = self._postprocess(op, req, srcs, rows)
+        self.metrics.record_latency(loop.time() - t0)
+        return ok_response(req_id, result)
+
+    def _postprocess(self, op: str, req: dict, srcs: np.ndarray, rows: np.ndarray) -> dict:
+        if op == "distances":
+            return {"sources": srcs.tolist(), "distances": rows.tolist()}
+        if op == "nearest_source":
+            best = np.argmin(rows, axis=0)
+            d = rows[best, np.arange(rows.shape[1])]
+            assigned = np.where(np.isfinite(d), srcs[best], -1)
+            return {"assigned": assigned.tolist(), "distance": d.tolist()}
+        # path: one source row → shortest-path tree → explicit path
+        target = req.get("target")
+        if not isinstance(target, (int,)) or not 0 <= target < rows.shape[1]:
+            raise ServerError(BAD_REQUEST, "'target' must be a vertex id")
+        source = int(srcs[0])
+        parent = shortest_path_tree(self.oracle.graph, source, rows[0])
+        path = reconstruct_path(parent, source, int(target))
+        return {
+            "source": source,
+            "target": int(target),
+            "path": path,
+            "distance": float(rows[0, int(target)]),
+        }
+
+    async def _stats_result(self) -> dict[str, Any]:
+        loop = asyncio.get_running_loop()
+        # engine.stats() takes the engine lock — run off-loop so a stats
+        # probe never stalls the event loop behind an in-flight batch.
+        engine_stats = await loop.run_in_executor(None, self.engine.stats)
+        cfg = self.server_config
+        return {
+            "server": self.metrics.snapshot(),
+            "engine": engine_stats,
+            "graph": {"n": int(self.oracle.graph.n), "m": int(self.oracle.graph.m)},
+            "pending": self._pending,
+            "uptime_s": loop.time() - self._t_start,
+            "config": {
+                "max_batch_rows": cfg.max_batch_rows,
+                "max_wait_us": cfg.max_wait_us,
+                "queue_limit": cfg.queue_limit,
+                "request_timeout_ms": cfg.request_timeout_ms,
+            },
+        }
+
+    # ------------------------------------------------------------ #
+    # The coalescing batcher
+    # ------------------------------------------------------------ #
+
+    async def _batch_loop(self) -> None:
+        """One tick per iteration: block for the first admitted request,
+        hold the window open ``max_wait_us`` (or until ``max_batch_rows``),
+        run the coalesced batch, answer every member.  After the shutdown
+        sentinel, keep ticking without waiting until the queue is dry."""
+        loop = asyncio.get_running_loop()
+        cfg = self.server_config
+        draining = False
+        while True:
+            if draining:
+                if self._queue.empty():
+                    return
+                head = self._queue.get_nowait()
+            else:
+                head = await self._queue.get()
+            if head is None:
+                draining = True
+                continue
+            batch = [head]
+            rows = head.rows
+            deadline = loop.time() + cfg.max_wait_us / 1e6
+            while rows < cfg.max_batch_rows:
+                if draining:
+                    if self._queue.empty():
+                        break
+                    nxt = self._queue.get_nowait()
+                else:
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        nxt = await asyncio.wait_for(self._queue.get(), remaining)
+                    except asyncio.TimeoutError:
+                        break
+                if nxt is None:
+                    draining = True
+                    continue
+                batch.append(nxt)
+                rows += nxt.rows
+            await self._run_batch(batch)
+
+    async def _run_batch(self, batch: list[_Pending]) -> None:
+        loop = asyncio.get_running_loop()
+        t_batch = loop.time()
+        waits = [t_batch - p.t_enqueue for p in batch]
+        srcs = np.concatenate([p.sources for p in batch])
+        try:
+            dist, info = await loop.run_in_executor(None, self.engine.submit, srcs)
+        except Exception as exc:
+            for p in batch:
+                if not p.fut.done():
+                    p.fut.set_exception(
+                        ServerError(INTERNAL, f"batch failed: {type(exc).__name__}: {exc}")
+                    )
+            self._pending -= len(batch)
+            return
+        off = 0
+        for p in batch:
+            if not p.fut.done():
+                p.fut.set_result(dist[off : off + p.rows])
+            off += p.rows
+        self._pending -= len(batch)
+        self.metrics.record_batch(
+            len(batch), info["rows"], info["shards"], info["wall_s"], waits
+        )

@@ -1,0 +1,288 @@
+"""Integration tests of the async batched query server (:mod:`repro.server`):
+correctness against the in-process oracle, coalescing, backpressure (shed),
+timeouts, graceful shutdown without shm leaks, and the save/load → serve
+round trip.
+
+The server runs its event loop in a background thread; tests talk to it
+through the blocking :class:`~repro.server.OracleClient` over a unix socket
+in ``tmp_path`` — exactly the deployment shape of ``repro-spsp serve``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro import OracleConfig, ShortestPathOracle
+from repro.pram.shm import orphaned_segments
+from repro.server import OracleClient, OracleServer, ServerConfig, ServerError
+
+SERIAL = OracleConfig(executor="serial")
+
+
+@pytest.fixture
+def oracle(grid6_negative):
+    g, tree = grid6_negative
+    return ShortestPathOracle.build(g, tree)
+
+
+@contextlib.contextmanager
+def serving(oracle, tmp_path, engine_cfg=SERIAL, **server_kw):
+    """Run an :class:`OracleServer` on a background event loop; yield
+    ``(socket path, server)``; always drain + stop on exit."""
+    sock = str(tmp_path / "oracle.sock")
+    server = OracleServer(oracle, engine_cfg, ServerConfig(path=sock, **server_kw))
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    async def main():
+        await server.start()
+        started.set()
+        await server.serve_forever()
+
+    def run():
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(main())
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert started.wait(20), "server failed to start"
+    try:
+        yield sock, server
+    finally:
+        loop.call_soon_threadsafe(server.request_shutdown)
+        thread.join(20)
+        assert not thread.is_alive(), "server failed to stop"
+
+
+class TestCorrectness:
+    def test_distances_match_inprocess(self, oracle, tmp_path):
+        srcs = [0, 7, 35]
+        want = oracle.distances(srcs)
+        with serving(oracle, tmp_path) as (sock, _):
+            with OracleClient(sock) as c:
+                got = c.distances(srcs)
+                single = c.distances(7)
+        assert np.array_equal(got, want)
+        assert np.array_equal(single, want[1])
+
+    def test_nearest_source_and_path_match_oracle(self, oracle, tmp_path):
+        with serving(oracle, tmp_path) as (sock, _):
+            with OracleClient(sock) as c:
+                assigned, dist = c.nearest_source([0, 20])
+                path, d = c.path_with_distance(0, 35)
+        want_assigned, want_dist = oracle.nearest_source([0, 20])
+        assert np.array_equal(assigned, want_assigned)
+        assert np.allclose(dist, want_dist)
+        assert path == oracle.path(0, 35)
+        assert d == pytest.approx(oracle.distance(0, 35))
+
+    def test_save_load_serve_round_trip(self, oracle, tmp_path):
+        """Persist → load → serve must answer exactly like the original."""
+        npz = tmp_path / "oracle.npz"
+        oracle.save(npz)
+        loaded = ShortestPathOracle.load(npz)
+        want = oracle.distances([0, 13])
+        with serving(loaded, tmp_path) as (sock, _):
+            with OracleClient(sock) as c:
+                got = c.distances([0, 13])
+        assert np.array_equal(got, want)
+
+    def test_bad_requests_get_400(self, oracle, tmp_path):
+        with serving(oracle, tmp_path) as (sock, _):
+            with OracleClient(sock) as c:
+                with pytest.raises(ServerError) as err:
+                    c.distances([10**6])  # out of range
+                assert err.value.code == 400
+                with pytest.raises(ServerError) as err:
+                    c._call("teleport")
+                assert err.value.code == 400
+                assert c.ping()  # connection survives rejected requests
+
+    def test_malformed_line_is_answered_not_fatal(self, oracle, tmp_path):
+        with serving(oracle, tmp_path) as (sock, _):
+            s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            s.connect(sock)
+            s.settimeout(10)
+            f = s.makefile("rwb")
+            f.write(b"this is not json\n")
+            f.flush()
+            resp = json.loads(f.readline())
+            assert resp["ok"] is False and resp["code"] == 400
+            s.close()
+
+
+class TestCoalescing:
+    def test_concurrent_requests_share_a_batch(self, oracle, tmp_path):
+        """≥2 of 4 simultaneous single-source requests must land in one
+        engine batch when they arrive within the coalescing window."""
+        n_clients = 4
+        with serving(oracle, tmp_path, max_wait_us=300_000) as (sock, server):
+            clients = [OracleClient(sock) for _ in range(n_clients)]
+            barrier = threading.Barrier(n_clients)
+            results = [None] * n_clients
+
+            def worker(i):
+                barrier.wait()
+                results[i] = clients[i].distances([i])
+
+            threads = [threading.Thread(target=worker, args=(i,)) for i in range(n_clients)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(20)
+            for c in clients:
+                c.close()
+            snap = server.metrics.snapshot()
+        want = oracle.distances(list(range(n_clients)))
+        for i in range(n_clients):
+            assert np.array_equal(results[i][0], want[i])
+        assert snap["max_coalesce"] >= 2, snap
+        assert snap["batches_total"] < n_clients, snap
+        assert snap["coalesce_factor"] > 1.0, snap
+
+    def test_zero_wait_disables_coalescing(self, oracle, tmp_path):
+        with serving(oracle, tmp_path, max_wait_us=0) as (sock, server):
+            with OracleClient(sock) as c:
+                c.distances([0])
+                c.distances([1])
+            snap = server.metrics.snapshot()
+        assert snap["batches_total"] == 2
+        assert snap["coalesce_factor"] == 1.0
+
+    def test_stats_expose_batch_shape(self, oracle, tmp_path):
+        with serving(oracle, tmp_path) as (sock, _):
+            with OracleClient(sock) as c:
+                c.distances([0, 1, 2])
+                stats = c.stats()
+        assert stats["engine"]["last_batch"]["rows"] == 3
+        for key in ("coalesce_factor", "shard_fanout", "queue_wait_s",
+                    "batch_wall_s", "request_latency_s"):
+            assert key in stats["server"]
+        assert stats["server"]["request_latency_s"]["p99"] >= 0
+
+
+class TestDegradation:
+    def test_timeout_answers_504(self, oracle, tmp_path):
+        """A request whose deadline is shorter than the coalescing window
+        gets a timeout response (the batch still completes server-side)."""
+        with serving(oracle, tmp_path, max_wait_us=500_000) as (sock, server):
+            with OracleClient(sock) as c:
+                c.timeout = 0.02  # timeout_ms sent with the request
+                with pytest.raises(ServerError) as err:
+                    c.distances([0])
+                assert err.value.code == 504
+            snap = server.metrics.snapshot()
+        assert snap["timeout_total"] == 1
+
+    def test_overload_sheds_429(self, oracle, tmp_path):
+        """Beyond queue_limit admitted requests, new ones are shed."""
+        with serving(
+            oracle, tmp_path, max_wait_us=500_000, queue_limit=1
+        ) as (sock, server):
+            admitted = OracleClient(sock)
+            t = threading.Thread(target=lambda: admitted.distances([0]))
+            t.start()
+            # Wait until the first request is admitted into the window.
+            for _ in range(200):
+                if server._pending >= 1:
+                    break
+                threading.Event().wait(0.005)
+            with OracleClient(sock) as c:
+                with pytest.raises(ServerError) as err:
+                    c.distances([1])
+            assert err.value.code == 429
+            t.join(20)
+            admitted.close()
+            snap = server.metrics.snapshot()
+        assert snap["shed_total"] == 1
+        assert snap["requests_total"] >= 2
+
+
+class TestShutdown:
+    def test_clean_shutdown_no_shm_leak_serial(self, oracle, tmp_path):
+        with serving(oracle, tmp_path) as (sock, _):
+            with OracleClient(sock) as c:
+                c.distances([0])
+        assert orphaned_segments() == []
+
+    @pytest.mark.multiproc
+    def test_clean_shutdown_no_shm_leak_shm_backend(self, oracle, tmp_path):
+        """The heavy path: shm pool + published arena; shutdown must drain
+        and unlink every segment (tools/check_shm_leaks.py invariant)."""
+        cfg = OracleConfig(executor="shm:2")
+        want = oracle.distances(np.arange(8))
+        with serving(oracle, tmp_path, engine_cfg=cfg) as (sock, server):
+            with OracleClient(sock) as c:
+                got = c.distances(list(range(8)))
+            assert server.engine.stats()["backend"] == "shm"
+        assert np.array_equal(got, want)
+        assert orphaned_segments() == []
+
+    def test_requests_after_drain_rejected(self, oracle, tmp_path):
+        with serving(oracle, tmp_path) as (sock, server):
+            with OracleClient(sock) as c:
+                c.distances([0])
+            server._draining = True  # simulate shutdown having begun
+            with OracleClient(sock) as c:
+                with pytest.raises(ServerError) as err:
+                    c.distances([1])
+                assert err.value.code == 503
+            server._draining = False  # let the context manager stop cleanly
+
+
+class TestSmoke:
+    def test_50_mixed_requests_smoke(self, oracle, tmp_path):
+        """CI fast-lane smoke: 50 mixed requests from 5 concurrent clients
+        over a unix socket, every answer well-formed, clean shutdown."""
+        n = oracle.graph.n
+        rng = np.random.default_rng(0)
+        errors = []
+
+        def worker(seed):
+            r = np.random.default_rng(seed)
+            try:
+                with OracleClient(sock) as c:
+                    for i in range(10):
+                        kind = i % 5
+                        if kind == 0:
+                            assert c.ping()
+                        elif kind == 1:
+                            d = c.distances([int(r.integers(n))])
+                            assert d.shape == (1, n)
+                        elif kind == 2:
+                            srcs = r.integers(0, n, size=3).tolist()
+                            a, d = c.nearest_source(srcs)
+                            assert a.shape == (n,) and d.shape == (n,)
+                        elif kind == 3:
+                            c.path(int(r.integers(n)), int(r.integers(n)))
+                        else:
+                            s = c.stats()
+                            assert s["server"]["requests_total"] >= 1
+            except Exception as exc:  # surface worker failures to the test
+                errors.append(exc)
+
+        with serving(oracle, tmp_path, max_wait_us=5_000) as (sock, server):
+            threads = [
+                threading.Thread(target=worker, args=(int(s),))
+                for s in rng.integers(0, 2**31, size=5)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(60)
+            snap = server.metrics.snapshot()
+        assert not errors, errors
+        assert snap["requests_total"] == 50
+        assert snap["error_total"] == 0 and snap["shed_total"] == 0
+        assert snap["batches_total"] >= 1
+        assert orphaned_segments() == []
