@@ -18,6 +18,7 @@ Two experiments, both recorded in ``benchmarks/results/BENCH_kernels.json``:
 from __future__ import annotations
 
 import json
+import os
 import time
 
 import numpy as np
@@ -47,11 +48,14 @@ MACRO_SPEEDUP = 1.5
 
 
 def _record_json(results_dir, key: str, record: dict) -> None:
-    """Merge one experiment record into ``BENCH_kernels.json``."""
+    """Merge one experiment record into ``BENCH_kernels.json`` (atomic
+    temp+rename — a crashed run must not truncate accumulated results)."""
     path = results_dir / "BENCH_kernels.json"
     data = json.loads(path.read_text()) if path.exists() else {}
     data[key] = record
-    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    tmp = path.parent / f"{path.name}.tmp-{os.getpid()}"
+    tmp.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
 
 
 def _best_of(fn, reps=3) -> float:

@@ -16,6 +16,7 @@ records to ``benchmarks/results/BENCH_parallel.json``.
 from __future__ import annotations
 
 import json
+import os
 import time
 
 import numpy as np
@@ -35,11 +36,14 @@ QUERY_BATCH = 96
 
 
 def _record_json(results_dir, key: str, record: dict) -> None:
-    """Merge one experiment record into ``BENCH_parallel.json``."""
+    """Merge one experiment record into ``BENCH_parallel.json`` (atomic
+    temp+rename — a crashed run must not truncate accumulated results)."""
     path = results_dir / "BENCH_parallel.json"
     data = json.loads(path.read_text()) if path.exists() else {}
     data[key] = record
-    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    tmp = path.parent / f"{path.name}.tmp-{os.getpid()}"
+    tmp.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
 
 
 @pytest.fixture(scope="module")

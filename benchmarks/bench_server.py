@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import threading
 import time
 
@@ -40,11 +41,14 @@ LATENCY_REPEATS = 9
 
 
 def _record_json(results_dir, key: str, record: dict) -> None:
-    """Merge one experiment record into ``BENCH_server.json``."""
+    """Merge one experiment record into ``BENCH_server.json`` (atomic
+    temp+rename — a crashed run must not truncate accumulated results)."""
     path = results_dir / "BENCH_server.json"
     data = json.loads(path.read_text()) if path.exists() else {}
     data[key] = record
-    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    tmp = path.parent / f"{path.name}.tmp-{os.getpid()}"
+    tmp.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
 
 
 @pytest.fixture(scope="module")

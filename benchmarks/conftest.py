@@ -9,12 +9,21 @@ also attached to ``benchmark.extra_info`` for the JSON output.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import numpy as np
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def atomic_write_text(path: pathlib.Path, text: str) -> None:
+    """Write via a same-directory temp file + ``os.replace`` so a crashed
+    run never leaves a truncated result file behind."""
+    tmp = path.parent / f"{path.name}.tmp-{os.getpid()}"
+    tmp.write_text(text)
+    os.replace(tmp, path)
 
 
 @pytest.fixture(scope="session")
@@ -28,8 +37,7 @@ def report(results_dir):
     """``report(exp_id, text)`` — persist a paper-shape table/finding."""
 
     def write(exp_id: str, text: str) -> None:
-        path = results_dir / f"{exp_id}.md"
-        path.write_text(text.rstrip() + "\n")
+        atomic_write_text(results_dir / f"{exp_id}.md", text.rstrip() + "\n")
 
     return write
 

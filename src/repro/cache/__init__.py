@@ -1,0 +1,15 @@
+"""Content-addressed augmentation cache (see DESIGN.md §7).
+
+Preprocessing dominates end-to-end cost — T1-pre-* put it orders of
+magnitude above a single query — yet the augmentation E⁺ is a pure
+function of ``(graph, tree, semiring, method)``.  This package makes the
+cold path as fast as a disk load: :func:`augmentation_key` hashes the
+canonicalized inputs into a SHA-256 address, and :class:`AugmentationCache`
+is the on-disk store behind ``ShortestPathOracle.build(cache=...)`` and the
+``repro-spsp cache`` CLI.
+"""
+
+from .keys import augmentation_key
+from .store import AugmentationCache, default_cache_dir
+
+__all__ = ["augmentation_key", "AugmentationCache", "default_cache_dir"]

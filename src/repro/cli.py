@@ -8,6 +8,7 @@ Subcommands
 ``table1``  quick Table-1-style sweep (ledger work vs n, fitted exponents)
 ``query``   serve batched multi-source queries via the persistent engine
 ``serve``   run the async coalescing query server on a socket
+``cache``   manage the content-addressed augmentation store (ls/stats/clear)
 ``selftest`` end-to-end install verification against independent baselines
 ``report``  aggregate benchmark results into one document
 """
@@ -32,7 +33,18 @@ def _oracle_config_from_args(args):
         kernel=getattr(args, "kernel", None),
         executor=getattr(args, "build_backend", None) or "serial",
         engine=getattr(args, "engine", "scheduled"),
+        cache=getattr(args, "cache", None) or "off",
+        cache_dir=getattr(args, "cache_dir", None),
+        row_cache=getattr(args, "row_cache", 0) or 0,
     )
+
+
+def _add_cache_flags(p) -> None:
+    """The shared ``--cache`` / ``--cache-dir`` build flags."""
+    p.add_argument("--cache", choices=["off", "read", "readwrite"], default="off",
+                   help="augmentation store mode (content-addressed build cache)")
+    p.add_argument("--cache-dir", dest="cache_dir", default=None,
+                   help="store directory (default REPRO_CACHE_DIR or ~/.cache/repro/aug)")
 
 
 def _workload_from_args(args):
@@ -112,6 +124,8 @@ def _cmd_stats(args) -> int:
     rng = np.random.default_rng(args.seed)
     g, tree = _workload_from_args(args)
     oracle = ShortestPathOracle.build(g, tree, config=_oracle_config_from_args(args))
+    if oracle.cache_info.get("mode", "off") != "off":
+        print("build cache:", oracle.cache_info)
     print("decomposition:", assess(tree).summary())
     for k, v in oracle.stats().items():
         print(f"  {k}: {v}")
@@ -276,6 +290,35 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    """Manage the content-addressed augmentation store (:mod:`repro.cache`):
+    ``ls`` lists entries oldest-first, ``stats`` prints the store summary,
+    ``clear`` deletes every entry/lock/temp file."""
+    from .cache import AugmentationCache
+
+    store = AugmentationCache(args.cache_dir)
+    if args.action == "ls":
+        entries = store.entries()
+        if not entries:
+            print(f"cache {store.dir}: empty")
+            return 0
+        print(f"cache {store.dir}: {len(entries)} entries (oldest first)")
+        for e in entries:
+            print(f"  {e['key'][:16]}…  {int(e.get('bytes', 0)):>12} B"
+                  f"  n={e.get('n', '?')} m={e.get('m', '?')}"
+                  f" |E+|={e.get('eplus', '?')}"
+                  f" method={e.get('method', '?')}"
+                  f" semiring={e.get('semiring', '?')}")
+        return 0
+    if args.action == "stats":
+        for k, v in store.stats().items():
+            print(f"  {k}: {v}")
+        return 0
+    removed = store.clear()
+    print(f"cleared {removed} entries from {store.dir}")
+    return 0
+
+
 def _cmd_selftest(args) -> int:
     """End-to-end self-verification on randomized workloads: builds the full
     pipeline across families/methods and cross-checks against independent
@@ -366,6 +409,7 @@ def main(argv: list[str] | None = None) -> int:
                     default=None, help="min-plus matmul kernel for preprocessing")
     p3.add_argument("--leaf-size", dest="leaf_size", type=int, default=8)
     p3.add_argument("--seed", type=int, default=0)
+    _add_cache_flags(p3)
     p3.set_defaults(fn=_cmd_stats)
 
     p4 = sub.add_parser("table1", help="quick Table-1 sweep (grids, or any μ with --mu)")
@@ -395,6 +439,7 @@ def main(argv: list[str] | None = None) -> int:
     p7.add_argument("--seed", type=int, default=0)
     p7.add_argument("--check", action="store_true",
                     help="verify the first batch bit-equals a serial pass")
+    _add_cache_flags(p7)
     p7.set_defaults(fn=_cmd_query)
 
     p8 = sub.add_parser("serve", help="run the async coalescing query server")
@@ -424,7 +469,16 @@ def main(argv: list[str] | None = None) -> int:
                     help="admitted-but-unfinished requests before shedding (429)")
     p8.add_argument("--timeout-ms", dest="timeout_ms", type=float, default=30000.0,
                     help="default per-request timeout")
+    p8.add_argument("--row-cache", dest="row_cache", type=int, default=1024,
+                    help="per-source distance-row LRU capacity (0 disables)")
+    _add_cache_flags(p8)
     p8.set_defaults(fn=_cmd_serve)
+
+    p9 = sub.add_parser("cache", help="manage the augmentation build cache")
+    p9.add_argument("action", choices=["ls", "stats", "clear"])
+    p9.add_argument("--cache-dir", dest="cache_dir", default=None,
+                    help="store directory (default REPRO_CACHE_DIR or ~/.cache/repro/aug)")
+    p9.set_defaults(fn=_cmd_cache)
 
     p6 = sub.add_parser("selftest", help="end-to-end install verification")
     p6.add_argument("--seed", type=int, default=0)

@@ -16,6 +16,8 @@ with PRAM work/depth accounting throughout.
 
 from __future__ import annotations
 
+import dataclasses
+import time
 from typing import Callable
 
 import numpy as np
@@ -69,6 +71,12 @@ def _resolve_tree(
     raise ValueError(f"unknown separator spec {separator!r}")
 
 
+def _is_shm_spec(executor) -> bool:
+    """Whether an executor spec names the shared-memory backend (the case
+    where a cache hit warm-starts an arena for the loaded edge arrays)."""
+    return isinstance(executor, str) and (executor == "shm" or executor.startswith("shm:"))
+
+
 class ShortestPathOracle:
     """Preprocessed multi-source shortest-path oracle for a digraph with a
     separator decomposition (the paper's end-to-end system)."""
@@ -94,6 +102,11 @@ class ShortestPathOracle:
         #: ``executor`` / ``kernel`` choices, and serializable for the
         #: server/CLI (``config.to_dict()``).
         self.config = config if config is not None else OracleConfig()
+        #: How the augmentation cache participated in this build (see
+        #: :mod:`repro.cache`): ``mode`` / ``status`` always, plus ``key``,
+        #: ``dir`` and timings once the store was consulted.  Surfaced by
+        #: the server's ``stats`` op as the build-cache hit record.
+        self.cache_info: dict = {"mode": self.config.cache, "status": "off"}
 
     # -------------------------------------------------------------- #
 
@@ -112,6 +125,8 @@ class ShortestPathOracle:
         validate: bool = UNSET,
         keep_node_distances: bool = UNSET,
         kernel: str | None = UNSET,
+        cache: str = UNSET,
+        cache_dir: str | None = UNSET,
     ) -> "ShortestPathOracle":
         """Run the full preprocessing pipeline.
 
@@ -138,6 +153,16 @@ class ShortestPathOracle:
             ``keep_node_distances``, ``validate`` are consumed here; the
             serving fields ride along untouched for
             :meth:`query_engine`).
+        cache:
+            Augmentation-cache mode (see :mod:`repro.cache`): ``"off"``
+            never touches the store; ``"read"`` loads a content-addressed
+            hit but never writes; ``"readwrite"`` additionally persists a
+            miss (under an ``O_EXCL`` build lock so concurrent builders of
+            the same key produce one store entry).  A hit skips the whole
+            §4 construction *and* — when the entry's header records that
+            validation already ran — the decomposition validity check.
+            ``keep_node_distances=True`` bypasses the cache (per-node
+            matrices are not persisted).
         """
         cfg = resolve_config(
             config,
@@ -149,27 +174,100 @@ class ShortestPathOracle:
             validate=validate,
             keep_node_distances=keep_node_distances,
             kernel=kernel,
+            cache=cache,
+            cache_dir=cache_dir,
         )
         ledger = Ledger()
         tree = _resolve_tree(graph, tree, cfg.separator, cfg.leaf_size)
-        if cfg.validate:
-            tree.validate(graph)
-        if cfg.method == "doubling_shared":
-            from .doubling_shared import augment_doubling_shared as build_fn
-        else:
-            build_fn = (
-                augment_leaves_up if cfg.method == "leaves_up" else augment_doubling
+        cache_info: dict = {"mode": cfg.cache, "status": "off"}
+        store = key = lock = None
+        if cfg.cache != "off":
+            if cfg.keep_node_distances:
+                cache_info["status"] = "bypass"
+            else:
+                from ..cache import AugmentationCache, augmentation_key
+
+                store = AugmentationCache(cfg.cache_dir)
+                key = augmentation_key(graph, tree, cfg.resolved_semiring, cfg.method)
+                cache_info.update(key=key, dir=str(store.dir), status="miss")
+                t0 = time.perf_counter()
+                oracle = cls._from_cache(store, key, graph, tree, cfg, cache_info)
+                if oracle is None and cfg.cache == "readwrite":
+                    lock = store.try_lock(key)
+                    if lock is None and store.wait_for_entry(key):
+                        # A concurrent builder won the lock and finished:
+                        # take its entry instead of rebuilding (no stampede).
+                        oracle = cls._from_cache(store, key, graph, tree, cfg, cache_info)
+                if oracle is not None:
+                    if lock is not None:
+                        lock.release()
+                    cache_info["load_s"] = time.perf_counter() - t0
+                    return oracle
+        try:
+            if cfg.validate:
+                tree.validate(graph)
+            if cfg.method == "doubling_shared":
+                from .doubling_shared import augment_doubling_shared as build_fn
+            else:
+                build_fn = (
+                    augment_leaves_up if cfg.method == "leaves_up" else augment_doubling
+                )
+            aug = build_fn(
+                graph,
+                tree,
+                cfg.resolved_semiring,
+                executor=cfg.executor,
+                ledger=ledger,
+                keep_node_distances=cfg.keep_node_distances,
+                kernel=cfg.kernel,
             )
-        aug = build_fn(
-            graph,
-            tree,
-            cfg.resolved_semiring,
-            executor=cfg.executor,
-            ledger=ledger,
-            keep_node_distances=cfg.keep_node_distances,
-            kernel=cfg.kernel,
+            oracle = cls(
+                graph, tree, aug, aug.schedule(), preprocess_ledger=ledger, config=cfg
+            )
+            if store is not None and cfg.cache == "readwrite":
+                t0 = time.perf_counter()
+                wrote = store.store(key, aug, config=cfg, validated=cfg.validate)
+                cache_info["status"] = "stored" if wrote else "miss"
+                cache_info["store_s"] = time.perf_counter() - t0
+            oracle.cache_info = cache_info
+            return oracle
+        finally:
+            if lock is not None:
+                lock.release()
+
+    @classmethod
+    def _from_cache(cls, store, key, graph, tree, cfg, cache_info) -> "ShortestPathOracle | None":
+        """One load attempt against the store; ``None`` on a miss.
+
+        For shm-destined builds the entry's edge arrays are streamed into a
+        fresh :class:`~repro.pram.shm.ShmArena` (``aug.arena``) so serving
+        workers share the pages; close it via :meth:`close` (a finalizer
+        covers forgetful owners).  Validation already paid at store time
+        (per the entry header) is *not* re-run — the ``validate`` fast
+        path of a hit.
+        """
+        arena = None
+        if _is_shm_spec(cfg.executor):
+            from ..pram.shm import ShmArena
+
+            arena = ShmArena()
+        loaded = store.load(key, arena=arena)
+        if loaded is None:
+            if arena is not None:
+                arena.close()
+            return None
+        aug, meta = loaded
+        if cfg.validate and not meta.get("validated"):
+            tree.validate(graph)
+        oracle = cls(graph, tree, aug, aug.schedule(), preprocess_ledger=Ledger(), config=cfg)
+        cache_info.update(
+            status="hit",
+            version=int(meta.get("version", 1)),
+            validated=bool(meta.get("validated", False)),
+            arena_backed=arena is not None,
         )
-        return cls(graph, tree, aug, aug.schedule(), preprocess_ledger=ledger, config=cfg)
+        oracle.cache_info = cache_info
+        return oracle
 
     # -------------------------------------------------------------- #
     # Queries
@@ -314,7 +412,12 @@ class ShortestPathOracle:
             semiring=self.semiring,
             keep_node_distances=bool(self.augmentation.node_distances),
         )
-        return ShortestPathOracle.build(graph, self.tree, config=cfg)
+        oracle = ShortestPathOracle.build(graph, self.tree, config=cfg)
+        # Reweighting bumps the lineage's weights epoch so any per-source
+        # distance-row cache keyed against the old augmentation can tell the
+        # two apart (see QueryEngine's row LRU).
+        oracle.augmentation.weights_epoch = self.augmentation.weights_epoch + 1
+        return oracle
 
     def path(self, u: int, v: int) -> list[int] | None:
         """An explicit minimum-weight ``u→v`` path (original edges only)."""
@@ -338,10 +441,14 @@ class ShortestPathOracle:
 
     def save(self, path) -> None:
         """Persist graph + tree + E⁺ to one ``.npz`` (see :mod:`repro.io`);
-        reload with :meth:`load` — the schedule is recompiled on load."""
+        reload with :meth:`load` — the schedule is recompiled on load.  The
+        build config travels in the archive header, so a loaded oracle
+        keeps this build's ``kernel`` / ``executor`` / serving knobs."""
         from ..io import save_augmentation
 
-        save_augmentation(path, self.augmentation)
+        save_augmentation(
+            path, self.augmentation, config=self.config, validated=self.config.validate
+        )
 
     @classmethod
     def load(cls, path) -> "ShortestPathOracle":
@@ -349,15 +456,22 @@ class ShortestPathOracle:
 
         Per-node distance matrices are not persisted; use
         ``with_new_weights(weight=graph.weight)`` style rebuilds when the
-        k-pair oracle is needed afterwards.
+        k-pair oracle is needed afterwards.  Format-2 archives restore the
+        saved :class:`OracleConfig`; legacy archives fall back to defaults.
         """
         from ..io import load_augmentation
 
-        aug = load_augmentation(path)
+        aug, meta = load_augmentation(path, with_meta=True)
         method = aug.method
         if method not in ("leaves_up", "doubling", "doubling_shared"):
             method = "leaves_up"
-        cfg = OracleConfig(
+        saved = meta.get("config")
+        if saved:
+            known = {f.name for f in dataclasses.fields(OracleConfig)}
+            cfg = OracleConfig.from_dict({k: v for k, v in saved.items() if k in known})
+        else:
+            cfg = OracleConfig()
+        cfg = cfg.replace(
             method=method,
             semiring=aug.semiring,
             keep_node_distances=bool(aug.node_distances),
@@ -366,6 +480,15 @@ class ShortestPathOracle:
             aug.graph, aug.tree, aug, aug.schedule(),
             preprocess_ledger=Ledger(), config=cfg,
         )
+
+    def close(self) -> None:
+        """Release the warm-start arena of a cache-hit shm build (if any);
+        idempotent and optional — the arena's finalizer unlinks segments at
+        GC time for owners that forget.  Views already handed out stay
+        readable in this process; new worker attaches stop working."""
+        arena = getattr(self.augmentation, "arena", None)
+        if arena is not None:
+            arena.close()
 
     def check_no_negative_cycle(self) -> bool:
         """Independent Bellman–Ford certificate (the build already raises on

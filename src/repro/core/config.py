@@ -64,6 +64,7 @@ UNSET = _Unset()
 _METHODS = ("leaves_up", "doubling", "doubling_shared")
 _ENGINES = ("scheduled", "naive")
 _KERNELS = (None, "auto", "reference", "blocked", "pruned")
+_CACHE_MODES = ("off", "read", "readwrite")
 
 
 @dataclass(frozen=True)
@@ -100,6 +101,19 @@ class OracleConfig:
     source_block:
         Row-block size bounding per-phase temporaries in batched queries
         (``None`` → :data:`repro.core.sssp.SOURCE_BLOCK`).
+    cache:
+        Augmentation-cache mode for :meth:`ShortestPathOracle.build`:
+        ``"off"`` (never touch the store), ``"read"`` (load a hit, never
+        write), ``"readwrite"`` (load a hit, persist a miss).  See
+        :mod:`repro.cache`.
+    cache_dir:
+        Store directory override (``None`` → ``REPRO_CACHE_DIR`` or
+        ``~/.cache/repro/aug``).
+    row_cache:
+        Capacity (in source rows) of the :class:`~repro.core.query.
+        QueryEngine` per-source distance-row LRU; ``0`` disables it.
+        A repeated source is answered from the cache without relaxation —
+        bit-identical by determinism of both engines.
     """
 
     method: str = "leaves_up"
@@ -112,6 +126,9 @@ class OracleConfig:
     validate: bool = False
     engine: str = "scheduled"
     source_block: int | None = None
+    cache: str = "off"
+    cache_dir: str | None = None
+    row_cache: int = 0
 
     def __post_init__(self) -> None:
         if self.method not in _METHODS:
@@ -124,6 +141,10 @@ class OracleConfig:
             raise ValueError(
                 f"unknown semiring {self.semiring!r}; known: {sorted(SEMIRINGS)}"
             )
+        if self.cache not in _CACHE_MODES:
+            raise ValueError(f"cache must be one of {_CACHE_MODES}, got {self.cache!r}")
+        if int(self.row_cache) < 0:
+            raise ValueError(f"row_cache must be >= 0, got {self.row_cache!r}")
 
     # -------------------------------------------------------------- #
 

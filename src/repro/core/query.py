@@ -36,6 +36,7 @@ import itertools
 import os
 import threading
 import time
+from collections import OrderedDict
 from typing import Any
 
 import numpy as np
@@ -215,6 +216,16 @@ class QueryEngine:
         self.rows_served = 0
         self.last_batch: dict[str, Any] | None = None
         self._lock = threading.Lock()
+        # Per-source distance-row LRU (config.row_cache rows; 0 = off).
+        # Keyed by source id, valid for one weights epoch: a reweighting
+        # lineage bumps ``aug.weights_epoch`` and the next submit clears the
+        # cache wholesale.  Rows are answered bit-identically by determinism
+        # of both engines, so serving repeated sources from here is exact.
+        self.row_cache_capacity = int(config.row_cache)
+        self._row_cache: OrderedDict[int, np.ndarray] = OrderedDict()
+        self._row_epoch = int(getattr(aug, "weights_epoch", 0))
+        self.row_hits = 0
+        self.row_misses = 0
 
     def _dedup_phases(self, compile_one) -> list[dict[str, Any]]:
         """Compile (and, on shm, publish) each *distinct* relaxer object
@@ -273,6 +284,51 @@ class QueryEngine:
         rows = max(s, 2 * (self._dist_view.shape[0] if self._dist_view is not None else 0))
         self._dist_ref, self._dist_view = self._arena.alloc((rows, n), dtype)
 
+    def _relax_matrix(self, dist: np.ndarray) -> int:
+        """Relax the ``(s, n)`` row matrix in place (inline or sharded
+        across the pool, exactly as :meth:`submit` always did); returns the
+        shard count.  Caller holds the engine lock."""
+        s, n = dist.shape
+        workers = max(1, getattr(self._exe, "workers", 1))
+        if workers <= 1 or s < 2:
+            self._run_inline(dist)
+            return 1
+        shards = self._shards(s)
+        if self._use_shm:
+            self._ensure_dist_block(s, n, self.aug.semiring.dtype)
+            self._dist_view[:s] = dist
+            payloads = [
+                {"engine": self._spec, "dist": self._dist_ref,
+                 "row_start": a, "row_stop": b}
+                for a, b in shards
+            ]
+            self._exe.map(_shard_worker, payloads)
+            dist[...] = self._dist_view[:s]
+        elif self._spec is not None:  # plain process pool: rows are pickled
+            payloads = [
+                {"engine": self._spec, "rows": dist[a:b]} for a, b in shards
+            ]
+            outs = self._exe.map(_shard_worker, payloads)
+            for (a, b), out in zip(shards, outs):
+                dist[a:b] = out["rows"]
+        else:  # thread pool: shared address space, relax shards in place
+            self._exe.map(lambda ab: self._run_inline(dist[ab[0] : ab[1]]), shards)
+        return len(shards)
+
+    def _check_epoch(self) -> None:
+        """Drop every cached row if the augmentation's weights epoch moved
+        (reweighting lineage, or a manual bump after in-place weight
+        mutation).  Caller holds the engine lock."""
+        epoch = int(getattr(self.aug, "weights_epoch", 0))
+        if epoch != self._row_epoch:
+            self._row_cache.clear()
+            self._row_epoch = epoch
+
+    def clear_row_cache(self) -> None:
+        """Drop all cached distance rows (counters are kept)."""
+        with self._lock:
+            self._row_cache.clear()
+
     def query(self, sources) -> np.ndarray:
         """Distance rows for each source: ``(s, n)``, or ``(n,)`` for a bare
         int — bit-identical to :func:`repro.core.sssp.sssp_scheduled`
@@ -281,52 +337,72 @@ class QueryEngine:
 
     def submit(self, sources) -> tuple[np.ndarray, dict[str, Any]]:
         """Batch-submission hook: like :meth:`query`, but also returns the
-        per-batch execution record ``{"rows", "shards", "wall_s"}`` — what a
-        serving layer needs for coalesce-factor / fan-out metrics without
-        re-deriving the sharding.  Thread-safe: concurrent submitters are
-        serialized on the engine lock (shards of *one* batch still run in
-        parallel across the pool)."""
+        per-batch execution record ``{"rows", "shards", "wall_s",
+        "cached_rows"}`` — what a serving layer needs for coalesce-factor /
+        fan-out metrics without re-deriving the sharding.  Thread-safe:
+        concurrent submitters are serialized on the engine lock (shards of
+        *one* batch still run in parallel across the pool).
+
+        With ``config.row_cache > 0``, rows whose source is in the LRU (or
+        repeats an earlier source of the same batch) are filled without
+        relaxation; only first-occurrence misses are relaxed.
+        """
         srcs, single = _as_source_array(sources)
         n = self.aug.graph.n
         semiring = self.aug.semiring
         s = srcs.shape[0]
-        workers = max(1, getattr(self._exe, "workers", 1))
         with self._lock:
             if self._closed:
                 raise ValueError("engine is closed")
             t0 = time.perf_counter()
-            dist = initial_distances(n, srcs, semiring)
             self.queries_served += 1
             self.rows_served += s
-            if workers <= 1 or s < 2:
-                nshards = 1
-                self._run_inline(dist)
+            cap = self.row_cache_capacity
+            cached_rows = 0
+            if cap <= 0:
+                dist = initial_distances(n, srcs, semiring)
+                nshards = self._relax_matrix(dist)
             else:
-                shards = self._shards(s)
-                nshards = len(shards)
-                if self._use_shm:
-                    self._ensure_dist_block(s, n, semiring.dtype)
-                    self._dist_view[:s] = dist
-                    payloads = [
-                        {"engine": self._spec, "dist": self._dist_ref,
-                         "row_start": a, "row_stop": b}
-                        for a, b in shards
-                    ]
-                    self._exe.map(_shard_worker, payloads)
-                    dist[...] = self._dist_view[:s]
-                elif self._spec is not None:  # plain process pool: rows are pickled
-                    payloads = [
-                        {"engine": self._spec, "rows": dist[a:b]} for a, b in shards
-                    ]
-                    outs = self._exe.map(_shard_worker, payloads)
-                    for (a, b), out in zip(shards, outs):
-                        dist[a:b] = out["rows"]
-                else:  # thread pool: shared address space, relax shards in place
-                    self._exe.map(lambda ab: self._run_inline(dist[ab[0] : ab[1]]), shards)
+                self._check_epoch()
+                dist = np.empty((s, n), dtype=semiring.dtype)
+                miss_first: dict[int, int] = {}  # source -> first row index
+                for i, v in enumerate(srcs.tolist()):
+                    row = self._row_cache.get(v)
+                    if row is not None:
+                        dist[i] = row
+                        self._row_cache.move_to_end(v)
+                        cached_rows += 1
+                    elif v not in miss_first:
+                        miss_first[v] = i
+                nshards = 0
+                if miss_first:
+                    miss_srcs = np.fromiter(
+                        miss_first, dtype=np.int64, count=len(miss_first)
+                    )
+                    sub = initial_distances(n, miss_srcs, semiring)
+                    nshards = self._relax_matrix(sub)
+                    for j, (v, i) in enumerate(miss_first.items()):
+                        dist[i] = sub[j]
+                        # A private copy: the row handed to callers (inside
+                        # ``dist``) stays theirs to mutate, and caching the
+                        # copy instead of ``sub[j]`` avoids pinning the whole
+                        # (k, n) block while one row lives in the LRU.
+                        self._row_cache[v] = sub[j].copy()
+                        if len(self._row_cache) > cap:
+                            self._row_cache.popitem(last=False)
+                # Duplicate misses: served from the first occurrence.
+                for i, v in enumerate(srcs.tolist()):
+                    j = miss_first.get(v)
+                    if j is not None and j != i:
+                        dist[i] = dist[j]
+                        cached_rows += 1
+                self.row_hits += cached_rows
+                self.row_misses += len(miss_first)
             info = {
                 "rows": int(s),
                 "shards": int(nshards),
                 "wall_s": time.perf_counter() - t0,
+                "cached_rows": int(cached_rows),
             }
             self.last_batch = info
         return (dist[0] if single else dist), info
@@ -335,6 +411,7 @@ class QueryEngine:
         """Serving counters and amortization-relevant sizes (reentrant:
         safe to call from any thread while another thread submits)."""
         with self._lock:
+            looked_up = self.row_hits + self.row_misses
             return {
                 "engine": self.engine,
                 "backend": getattr(self._exe, "name", "?"),
@@ -344,6 +421,14 @@ class QueryEngine:
                 "phases": len(self._relaxers),
                 "shared_bytes": self._arena.allocated_bytes if self._arena else 0,
                 "last_batch": None if self.last_batch is None else dict(self.last_batch),
+                "row_cache": {
+                    "capacity": self.row_cache_capacity,
+                    "size": len(self._row_cache),
+                    "hits": self.row_hits,
+                    "misses": self.row_misses,
+                    "hit_rate": (self.row_hits / looked_up) if looked_up else 0.0,
+                    "epoch": self._row_epoch,
+                },
             }
 
     def close(self) -> None:
@@ -356,6 +441,7 @@ class QueryEngine:
             if self._closed:
                 return
             self._closed = True
+            self._row_cache.clear()
             if self._arena is not None:
                 self._arena.close()
         if self._owns_exe:

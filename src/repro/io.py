@@ -5,11 +5,26 @@ group of instances which differ in the weights and direction on edges" —
 which only pays off if it can be *stored*.  Everything serializes to a
 single ``.npz`` (numpy archive): portable, compressed, no pickle of code
 objects.
+
+Augmentation archives carry a versioned header (format 2):
+
+* ``version`` — the :data:`AUG_FORMAT_VERSION` that wrote the file (absent
+  in legacy format-1 archives, which still load);
+* ``validated`` — whether the decomposition validity check ran at build
+  time, letting a cache hit skip re-validation (``repro.cache``);
+* ``config_json`` — the build's :class:`~repro.core.config.OracleConfig`,
+  so ``save → load → query_engine`` keeps the original ``kernel`` /
+  ``executor`` choices instead of silently reverting to defaults.
+
+``load_augmentation(..., arena=...)`` streams the edge arrays from the
+archive directly into a :class:`~repro.pram.shm.ShmArena` — the shared
+pages are the *only* destination buffer (no private intermediate copy), so
+a cache hit warm-starts shm serving with one disk→arena copy per array.
 """
 
 from __future__ import annotations
 
-import pathlib
+import json
 
 import numpy as np
 
@@ -19,6 +34,7 @@ from .core.semiring import SEMIRINGS
 from .core.septree import SeparatorTree, SepTreeNode
 
 __all__ = [
+    "AUG_FORMAT_VERSION",
     "save_graph",
     "load_graph",
     "save_tree",
@@ -26,6 +42,11 @@ __all__ = [
     "save_augmentation",
     "load_augmentation",
 ]
+
+#: Version written into every new augmentation archive.  Readers accept
+#: ``<=`` this (1 = legacy headerless payload) and refuse newer files
+#: loudly instead of misreading them.
+AUG_FORMAT_VERSION = 2
 
 
 def save_graph(path, g: WeightedDigraph) -> None:
@@ -80,32 +101,59 @@ def load_tree(path) -> SeparatorTree:
     with np.load(path, allow_pickle=False) as z:
         if str(z["kind"]) != "septree":
             raise ValueError(f"{path} is not a saved separator tree")
-        count = z["parents"].shape[0]
-        nodes = []
-        for i in range(count):
-            kids = tuple(
-                int(c) for c in (z["child0"][i], z["child1"][i]) if c >= 0
+        # Materialize every member exactly once: ``NpzFile.__getitem__``
+        # decompresses the whole member per access, so indexing ``z[...]``
+        # inside the node loop is quadratic (tens of seconds for a few
+        # thousand nodes — the cache's whole win would drown in it).
+        n = int(z["n"])
+        vertices, separators, boundaries = z["vertices"], z["separators"], z["boundaries"]
+        voff, soff, boff = z["voff"], z["soff"], z["boff"]
+        parents, levels = z["parents"], z["levels"]
+        child0, child1 = z["child0"], z["child1"]
+    nodes = []
+    for i in range(parents.shape[0]):
+        kids = tuple(int(c) for c in (child0[i], child1[i]) if c >= 0)
+        nodes.append(
+            SepTreeNode(
+                idx=i,
+                level=int(levels[i]),
+                parent=int(parents[i]),
+                vertices=vertices[voff[i] : voff[i + 1]],
+                separator=separators[soff[i] : soff[i + 1]],
+                boundary=boundaries[boff[i] : boff[i + 1]],
+                children=kids,
             )
-            nodes.append(
-                SepTreeNode(
-                    idx=i,
-                    level=int(z["levels"][i]),
-                    parent=int(z["parents"][i]),
-                    vertices=z["vertices"][z["voff"][i] : z["voff"][i + 1]],
-                    separator=z["separators"][z["soff"][i] : z["soff"][i + 1]],
-                    boundary=z["boundaries"][z["boff"][i] : z["boff"][i + 1]],
-                    children=kids,
-                )
-            )
-        return SeparatorTree(nodes, int(z["n"]))
+        )
+    return SeparatorTree(nodes, n)
 
 
-def save_augmentation(path, aug: Augmentation) -> None:
+def _serializable_config(config) -> dict | None:
+    """A JSON-able ``OracleConfig.to_dict()``, degrading the two fields
+    that may hold live objects (an executor instance, a callable
+    separator) to their spec-string defaults instead of failing the save."""
+    if config is None:
+        return None
+    sanitized = config
+    if not (config.executor is None or isinstance(config.executor, str)):
+        sanitized = sanitized.replace(executor="serial")
+    if config.separator is not None and not isinstance(config.separator, str):
+        sanitized = sanitized.replace(separator="auto")
+    return sanitized.to_dict()
+
+
+def save_augmentation(path, aug: Augmentation, *, config=None, validated: bool = False) -> None:
     """Write an augmentation's edge set (not the per-node matrices) plus the
-    owning graph and tree — enough to rebuild schedules and query."""
+    owning graph and tree — enough to rebuild schedules and query.
+
+    ``config`` (an :class:`~repro.core.config.OracleConfig`) and
+    ``validated`` go into the format-2 header so loads can restore the
+    build's knobs and skip already-paid validation.
+    """
     tree = aug.tree
     payload = dict(
         kind="augmentation",
+        version=np.int64(AUG_FORMAT_VERSION),
+        validated=np.bool_(validated),
         method=aug.method,
         semiring=aug.semiring.name,
         aug_src=aug.src, aug_dst=aug.dst, aug_weight=aug.weight,
@@ -114,6 +162,9 @@ def save_augmentation(path, aug: Augmentation) -> None:
         g_n=aug.graph.n, g_src=aug.graph.src, g_dst=aug.graph.dst,
         g_weight=aug.graph.weight,
     )
+    cfg_dict = _serializable_config(config)
+    if cfg_dict is not None:
+        payload["config_json"] = json.dumps(cfg_dict, sort_keys=True)
     import io as _io
 
     buf = _io.BytesIO()
@@ -122,31 +173,101 @@ def save_augmentation(path, aug: Augmentation) -> None:
     np.savez_compressed(path, **payload)
 
 
-def load_augmentation(path) -> Augmentation:
+def _stream_member_into_arena(z, name: str, arena):
+    """Decompress one ``.npy`` archive member straight into a fresh arena
+    allocation — the shared pages are the only destination buffer.
+
+    Falls back to load-then-copy for exotic headers (fortran order,
+    object dtypes never occur in our payloads but cost nothing to guard).
+    """
+    from numpy.lib import format as npf
+
+    try:
+        with z.zip.open(name + ".npy") as fp:
+            version = npf.read_magic(fp)
+            if version == (1, 0):
+                shape, fortran, dtype = npf.read_array_header_1_0(fp)
+            elif version == (2, 0):
+                shape, fortran, dtype = npf.read_array_header_2_0(fp)
+            else:
+                raise ValueError(f"unknown npy version {version}")
+            if fortran or dtype.hasobject:
+                raise ValueError("non-C layout")
+            _, view = arena.alloc(shape, dtype)
+            mv = memoryview(view).cast("B") if view.nbytes else memoryview(b"")
+            filled = 0
+            while filled < view.nbytes:
+                got = fp.readinto(mv[filled:])
+                if not got:
+                    raise EOFError(f"truncated archive member {name}")
+                filled += got
+            return view
+    except (ValueError, KeyError):
+        _, view = arena.alloc(z[name].shape, z[name].dtype)
+        view[...] = z[name]
+        return view
+
+
+def load_augmentation(path, *, arena=None, with_meta: bool = False):
     """Read an augmentation written by :func:`save_augmentation`.
 
     Per-node distance matrices are not persisted (rebuild with
     ``keep_node_distances=True`` when the k-pair oracle is needed).
+
+    Parameters
+    ----------
+    arena:
+        A :class:`~repro.pram.shm.ShmArena`: the graph and augmentation
+        edge arrays are streamed into shared memory (see module docs) and
+        the returned augmentation records the arena on ``aug.arena``.  The
+        arena must outlive the augmentation's use by worker processes.
+    with_meta:
+        Also return the header dict ``{"version", "validated", "config"}``
+        (``config`` is the saved build-config dict, or ``None`` for
+        legacy archives).
     """
     import io as _io
 
     with np.load(path, allow_pickle=False) as z:
         if str(z["kind"]) != "augmentation":
             raise ValueError(f"{path} is not a saved augmentation")
-        graph = WeightedDigraph(int(z["g_n"]), z["g_src"], z["g_dst"], z["g_weight"])
-        tree = load_tree(_io.BytesIO(z["tree_blob"].tobytes()))
+        version = int(z["version"]) if "version" in z.files else 1
+        if version > AUG_FORMAT_VERSION:
+            raise ValueError(
+                f"{path} has augmentation format {version}; this build reads "
+                f"<= {AUG_FORMAT_VERSION}"
+            )
+        meta = {
+            "version": version,
+            "validated": bool(z["validated"]) if "validated" in z.files else False,
+            "config": json.loads(str(z["config_json"])) if "config_json" in z.files else None,
+        }
         semiring = SEMIRINGS[str(z["semiring"])]
+        if arena is not None:
+            g_src = _stream_member_into_arena(z, "g_src", arena)
+            g_dst = _stream_member_into_arena(z, "g_dst", arena)
+            g_weight = _stream_member_into_arena(z, "g_weight", arena)
+            aug_src = _stream_member_into_arena(z, "aug_src", arena)
+            aug_dst = _stream_member_into_arena(z, "aug_dst", arena)
+            aug_weight = _stream_member_into_arena(z, "aug_weight", arena)
+        else:
+            g_src, g_dst, g_weight = z["g_src"], z["g_dst"], z["g_weight"]
+            aug_src, aug_dst, aug_weight = z["aug_src"], z["aug_dst"], z["aug_weight"]
+        graph = WeightedDigraph(int(z["g_n"]), g_src, g_dst, g_weight)
+        tree = load_tree(_io.BytesIO(z["tree_blob"].tobytes()))
         leaf_diameters = {
             int(k): int(d) for k, d in zip(z["leaf_idx"], z["leaf_diam"])
         }
-        return Augmentation(
+        aug = Augmentation(
             graph=graph,
             tree=tree,
             semiring=semiring,
-            src=z["aug_src"],
-            dst=z["aug_dst"],
-            weight=z["aug_weight"].astype(semiring.dtype),
+            src=aug_src,
+            dst=aug_dst,
+            weight=np.asarray(aug_weight).astype(semiring.dtype, copy=False),
             leaf_diameters=leaf_diameters,
             node_distances={},
             method=str(z["method"]),
         )
+        aug.arena = arena
+        return (aug, meta) if with_meta else aug

@@ -85,6 +85,8 @@ class ServerMetrics:
         self.rows_total = 0
         self.shards_total = 0
         self.max_coalesce = 0
+        #: rows answered from the engine's per-source row LRU (no relaxation)
+        self.cached_rows_total = 0
         #: seconds a request sat admitted-but-unbatched (the coalesce tick)
         self.queue_wait_s = Reservoir()
         #: seconds one engine batch took wall-clock
@@ -118,6 +120,7 @@ class ServerMetrics:
         shards: int,
         wall_s: float,
         queue_waits_s: list[float],
+        cached_rows: int = 0,
     ) -> None:
         """Record one coalesced engine batch and its member queue waits."""
         self.batches_total += 1
@@ -125,6 +128,7 @@ class ServerMetrics:
         self.rows_total += int(rows)
         self.shards_total += int(shards)
         self.max_coalesce = max(self.max_coalesce, int(n_requests))
+        self.cached_rows_total += int(cached_rows)
         self.batch_wall_s.add(wall_s)
         for w in queue_waits_s:
             self.queue_wait_s.add(w)
@@ -149,6 +153,11 @@ class ServerMetrics:
         """Mean worker shards per engine batch."""
         return self.shards_total / self.batches_total if self.batches_total else float("nan")
 
+    @property
+    def row_cache_hit_rate(self) -> float:
+        """Fraction of served rows answered from the engine's row LRU."""
+        return self.cached_rows_total / self.rows_total if self.rows_total else 0.0
+
     def snapshot(self) -> dict[str, Any]:
         """JSON-able summary for the ``stats`` op and the benchmarks."""
         return {
@@ -160,6 +169,8 @@ class ServerMetrics:
             "batches_total": self.batches_total,
             "coalesced_requests_total": self.coalesced_requests_total,
             "rows_total": self.rows_total,
+            "cached_rows_total": self.cached_rows_total,
+            "row_cache_hit_rate": self.row_cache_hit_rate,
             "coalesce_factor": self.coalesce_factor,
             "max_coalesce": self.max_coalesce,
             "shard_fanout": self.shard_fanout,

@@ -21,6 +21,19 @@ Response shape::
 ``id`` is opaque to the server and echoed verbatim — clients use it to
 match responses (the server answers each connection's requests as they
 complete, which is not necessarily arrival order once batches coalesce).
+
+The ``stats`` result carries, alongside the ``server`` counter snapshot
+(which includes ``cached_rows_total`` and ``row_cache_hit_rate``) and the
+``engine`` stats (with their ``row_cache`` hit/miss section), a ``cache``
+section summarizing both caches of the serving stack::
+
+    "cache": {
+        "build":        {...},   # oracle.cache_info: augmentation-store
+                                 # mode/status ("off"|"bypass"|"miss"|
+                                 # "hit"|"stored"), key, dir, timings
+        "row_hit_rate": 0.42,    # fraction of served rows from the row LRU
+        "row_cache":    {...}    # engine row-LRU capacity/size/hits/misses
+    }
 """
 
 from __future__ import annotations

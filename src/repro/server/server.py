@@ -401,6 +401,11 @@ class OracleServer:
             "server": self.metrics.snapshot(),
             "engine": engine_stats,
             "graph": {"n": int(self.oracle.graph.n), "m": int(self.oracle.graph.m)},
+            "cache": {
+                "build": dict(self.oracle.cache_info),
+                "row_hit_rate": self.metrics.row_cache_hit_rate,
+                "row_cache": engine_stats.get("row_cache"),
+            },
             "pending": self._pending,
             "uptime_s": loop.time() - self._t_start,
             "config": {
@@ -478,5 +483,6 @@ class OracleServer:
             off += p.rows
         self._pending -= len(batch)
         self.metrics.record_batch(
-            len(batch), info["rows"], info["shards"], info["wall_s"], waits
+            len(batch), info["rows"], info["shards"], info["wall_s"], waits,
+            cached_rows=info.get("cached_rows", 0),
         )

@@ -1,0 +1,445 @@
+"""Tests for the content-addressed augmentation cache (:mod:`repro.cache`):
+keying, the store round-trip through ``ShortestPathOracle.build``, locking,
+eviction, warm-start arenas, the query-row LRU, and the CLI subcommand.
+
+Process-spawning concurrency tests carry the ``multiproc`` marker; the
+default fast lane covers the same stampede protocol with threads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cache import AugmentationCache, augmentation_key, default_cache_dir
+from repro.core.api import ShortestPathOracle
+from repro.core.config import OracleConfig
+from repro.core.leaves_up import augment_leaves_up
+from repro.core.semiring import MIN_PLUS, SEMIRINGS
+from repro.separators.grid import decompose_grid
+from repro.workloads.generators import grid_digraph
+
+
+def _store_files(store) -> list[str]:
+    if not store.dir.is_dir():
+        return []
+    return sorted(p.name for p in store.dir.iterdir())
+
+
+def _entry_files(store) -> list[str]:
+    return [f for f in _store_files(store) if f.endswith(".npz")]
+
+
+class TestKeying:
+    def test_deterministic(self, grid7):
+        g, tree = grid7
+        k1 = augmentation_key(g, tree, MIN_PLUS, "leaves_up")
+        k2 = augmentation_key(g, tree, MIN_PLUS, "leaves_up")
+        assert k1 == k2 and len(k1) == 64
+
+    def test_sensitive_to_content(self, grid7):
+        g, tree = grid7
+        base = augmentation_key(g, tree, MIN_PLUS, "leaves_up")
+        from repro.core.digraph import WeightedDigraph
+
+        reweighted = WeightedDigraph(g.n, g.src, g.dst, g.weight * 2.0)
+        assert augmentation_key(reweighted, tree, MIN_PLUS, "leaves_up") != base
+        assert augmentation_key(g, tree, MIN_PLUS, "doubling") != base
+        assert augmentation_key(g, tree, SEMIRINGS["boolean"], "leaves_up") != base
+
+    def test_sensitive_to_dtype(self, grid7):
+        """A float32 reweighting builds a different payload than float64."""
+        g, tree = grid7
+        base = augmentation_key(g, tree, MIN_PLUS, "leaves_up")
+        from repro.core.digraph import WeightedDigraph
+
+        g32 = WeightedDigraph(g.n, g.src, g.dst, g.weight.astype(np.float32))
+        assert augmentation_key(g32, tree, MIN_PLUS, "leaves_up") != base
+
+    def test_sensitive_to_tree(self, grid7, rng):
+        g, _ = grid7
+        t4 = decompose_grid(g, (7, 7), leaf_size=4)
+        t9 = decompose_grid(g, (7, 7), leaf_size=9)
+        assert augmentation_key(g, t4, MIN_PLUS, "leaves_up") != augmentation_key(
+            g, t9, MIN_PLUS, "leaves_up"
+        )
+
+    def test_insensitive_to_implementation_knobs(self, grid7):
+        """executor/kernel produce bit-identical E⁺ — same key by design."""
+        g, tree = grid7
+        assert augmentation_key(g, tree, MIN_PLUS, "leaves_up") == augmentation_key(
+            g, tree, MIN_PLUS, "leaves_up"
+        )
+
+    def test_default_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-store"))
+        assert default_cache_dir() == tmp_path / "env-store"
+
+
+class TestBuildRoundTrip:
+    def test_miss_store_hit(self, grid6_negative, tmp_path):
+        g, tree = grid6_negative
+        d = str(tmp_path / "store")
+        first = ShortestPathOracle.build(g, tree, cache="readwrite", cache_dir=d)
+        assert first.cache_info["status"] == "stored"
+        second = ShortestPathOracle.build(g, tree, cache="readwrite", cache_dir=d)
+        assert second.cache_info["status"] == "hit"
+        assert second.cache_info["key"] == first.cache_info["key"]
+        assert np.array_equal(first.distances([0, 17]), second.distances([0, 17]))
+        store = AugmentationCache(d)
+        assert _entry_files(store) == [f"{first.cache_info['key']}.npz"]
+        assert not [f for f in _store_files(store) if f.endswith(".lock")]
+
+    def test_read_mode_never_writes(self, grid7, tmp_path):
+        g, tree = grid7
+        d = tmp_path / "store"
+        oracle = ShortestPathOracle.build(g, tree, cache="read", cache_dir=str(d))
+        assert oracle.cache_info["status"] == "miss"
+        assert not _entry_files(AugmentationCache(str(d)))
+
+    def test_off_mode_touches_nothing(self, grid7, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+        oracle = ShortestPathOracle.build(g := grid7[0], grid7[1])
+        assert oracle.cache_info == {"mode": "off", "status": "off"}
+        assert not (tmp_path / "store").exists()
+        assert oracle.distances(0).shape == (g.n,)
+
+    def test_keep_node_distances_bypasses(self, grid7, tmp_path):
+        g, tree = grid7
+        oracle = ShortestPathOracle.build(
+            g, tree, cache="readwrite", cache_dir=str(tmp_path / "store"),
+            keep_node_distances=True,
+        )
+        assert oracle.cache_info["status"] == "bypass"
+        assert not _entry_files(AugmentationCache(str(tmp_path / "store")))
+        assert oracle.augmentation.node_distances  # matrices retained
+
+    def test_hit_skips_validation_when_store_validated(self, grid7, tmp_path, monkeypatch):
+        g, tree = grid7
+        d = str(tmp_path / "store")
+        ShortestPathOracle.build(g, tree, cache="readwrite", cache_dir=d, validate=True)
+        calls = []
+        monkeypatch.setattr(
+            type(tree), "validate", lambda self, graph: calls.append(1)
+        )
+        hit = ShortestPathOracle.build(g, tree, cache="read", cache_dir=d, validate=True)
+        assert hit.cache_info["status"] == "hit"
+        assert hit.cache_info["validated"] is True
+        assert not calls  # fast path: validation already paid at store time
+
+    def test_hit_revalidates_when_store_unvalidated(self, grid7, tmp_path, monkeypatch):
+        g, tree = grid7
+        d = str(tmp_path / "store")
+        ShortestPathOracle.build(g, tree, cache="readwrite", cache_dir=d)  # validate=False
+        calls = []
+        monkeypatch.setattr(
+            type(tree), "validate", lambda self, graph: calls.append(1)
+        )
+        hit = ShortestPathOracle.build(g, tree, cache="read", cache_dir=d, validate=True)
+        assert hit.cache_info["status"] == "hit"
+        assert hit.cache_info["validated"] is False
+        assert calls  # the requester wants validation the entry never paid
+
+    def test_config_on_cache_object(self, grid7, tmp_path):
+        g, tree = grid7
+        cfg = OracleConfig(
+            cache="readwrite", cache_dir=str(tmp_path / "store"), kernel="blocked"
+        )
+        first = ShortestPathOracle.build(g, tree, config=cfg)
+        second = ShortestPathOracle.build(g, tree, config=cfg)
+        assert (first.cache_info["status"], second.cache_info["status"]) == (
+            "stored", "hit",
+        )
+        assert second.config.kernel == "blocked"
+
+    def test_corrupt_entry_is_a_miss(self, grid7, tmp_path):
+        g, tree = grid7
+        d = str(tmp_path / "store")
+        first = ShortestPathOracle.build(g, tree, cache="readwrite", cache_dir=d)
+        store = AugmentationCache(d)
+        store.entry_path(first.cache_info["key"]).write_bytes(b"not an npz")
+        again = ShortestPathOracle.build(g, tree, cache="readwrite", cache_dir=d)
+        assert again.cache_info["status"] == "stored"  # rebuilt and re-stored
+        assert np.array_equal(first.distances(0), again.distances(0))
+
+
+class TestStoreMechanics:
+    def _small_aug(self, seed: int):
+        rng = np.random.default_rng(seed)
+        g = grid_digraph((5, 5), rng)
+        tree = decompose_grid(g, (5, 5), leaf_size=4)
+        aug = augment_leaves_up(g, tree, keep_node_distances=False)
+        return augmentation_key(g, tree, MIN_PLUS, "leaves_up"), aug
+
+    def test_lru_eviction_bounded(self, tmp_path):
+        store = AugmentationCache(str(tmp_path / "s"), max_bytes=1)  # everything over
+        k1, a1 = self._small_aug(1)
+        k2, a2 = self._small_aug(2)
+        assert store.store(k1, a1)
+        assert store.store(k2, a2)  # evicts k1 (oldest), protects itself
+        assert store.load(k1) is None
+        assert store.load(k2) is not None
+        assert _entry_files(store) == [f"{k2}.npz"]
+
+    def test_touch_on_hit_reorders_lru(self, tmp_path):
+        store = AugmentationCache(str(tmp_path / "s"))
+        k1, a1 = self._small_aug(1)
+        k2, a2 = self._small_aug(2)
+        store.store(k1, a1)
+        store.store(k2, a2)
+        assert store.load(k1) is not None  # touch k1 → k2 becomes oldest
+        keys = [e["key"] for e in store.entries()]  # oldest first
+        assert keys == [k2, k1]
+
+    def test_stats_and_clear(self, tmp_path):
+        store = AugmentationCache(str(tmp_path / "s"))
+        k, a = self._small_aug(3)
+        store.store(k, a)
+        st = store.stats()
+        assert st["entries"] == 1 and st["total_bytes"] > 0
+        assert store.clear() == 1
+        assert store.stats()["entries"] == 0
+
+    def test_store_is_first_writer_wins(self, tmp_path):
+        store = AugmentationCache(str(tmp_path / "s"))
+        k, a = self._small_aug(4)
+        assert store.store(k, a) is True
+        assert store.store(k, a) is False  # already present: skip, touch
+        assert len(_entry_files(store)) == 1
+
+    def test_stale_lock_broken(self, tmp_path):
+        store = AugmentationCache(str(tmp_path / "s"))
+        k, _ = self._small_aug(5)
+        store.dir.mkdir(parents=True)
+        store.lock_path(k).write_text(
+            json.dumps({"pid": 2**22 + 12345, "created": 0.0})
+        )
+        lock = store.try_lock(k)  # dead pid → break and take over
+        assert lock is not None
+        lock.release()
+        assert not store.lock_path(k).exists()
+
+    def test_live_lock_respected(self, tmp_path):
+        store = AugmentationCache(str(tmp_path / "s"))
+        k, _ = self._small_aug(6)
+        lock = store.try_lock(k)
+        assert lock is not None
+        assert store.try_lock(k) is None  # held by a live pid: not stolen
+        lock.release()
+        assert store.try_lock(k) is not None
+
+    def test_wait_for_entry_sees_late_store(self, tmp_path):
+        """A lock loser polls until the winner's entry lands."""
+        store = AugmentationCache(str(tmp_path / "s"))
+        k, a = self._small_aug(7)
+        winner = store.try_lock(k)
+        assert winner is not None
+
+        def finish() -> None:
+            store.store(k, a)
+            winner.release()
+
+        t = threading.Timer(0.1, finish)
+        t.start()
+        try:
+            assert store.wait_for_entry(k, timeout_s=10)
+        finally:
+            t.join()
+        assert store.load(k) is not None
+
+    def test_wait_for_entry_gives_up_without_builder(self, tmp_path):
+        """No entry and no lock: there is nobody to wait for."""
+        store = AugmentationCache(str(tmp_path / "s"))
+        k, _ = self._small_aug(8)
+        assert store.wait_for_entry(k, timeout_s=5) is False
+
+
+class TestConcurrentBuilders:
+    def test_thread_stampede_single_entry(self, grid6_negative, tmp_path):
+        """Two threads racing the same key: one entry, both get bit-identical
+        oracles, no lock/tmp residue (the fast-lane stampede check)."""
+        g, tree = grid6_negative
+        d = str(tmp_path / "store")
+        results: dict[int, ShortestPathOracle] = {}
+        barrier = threading.Barrier(2)
+
+        def worker(i: int) -> None:
+            barrier.wait()
+            results[i] = ShortestPathOracle.build(
+                g, tree, cache="readwrite", cache_dir=d
+            )
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(120)
+        store = AugmentationCache(d)
+        assert len(_entry_files(store)) == 1
+        statuses = {results[i].cache_info["status"] for i in range(2)}
+        assert statuses <= {"stored", "hit", "miss"} and "stored" in statuses
+        assert np.array_equal(results[0].distances(0), results[1].distances(0))
+        leftovers = [
+            f for f in _store_files(store)
+            if f.endswith(".lock") or ".tmp-" in f
+        ]
+        assert leftovers == []
+
+    @pytest.mark.multiproc
+    def test_process_stampede_single_entry(self, tmp_path):
+        """Two spawned processes build the same content concurrently: the
+        store ends with exactly one entry, no stale locks or temp files, and
+        no /dev/shm residue (ISSUE acceptance)."""
+        import multiprocessing as mp
+
+        from repro.pram.shm import orphaned_segments
+
+        d = str(tmp_path / "store")
+        ctx = mp.get_context("spawn")
+        q = ctx.Queue()
+        procs = [
+            ctx.Process(target=_stampede_worker, args=(d, q)) for _ in range(2)
+        ]
+        for p in procs:
+            p.start()
+        outcomes = [q.get(timeout=120) for _ in procs]
+        for p in procs:
+            p.join(120)
+            assert p.exitcode == 0
+        store = AugmentationCache(d)
+        assert len(_entry_files(store)) == 1
+        statuses = {s for s, _ in outcomes}
+        assert statuses <= {"stored", "hit", "miss"} and "stored" in statuses
+        d0, d1 = (np.asarray(row) for _, row in outcomes)
+        assert np.array_equal(d0, d1)
+        leftovers = [
+            f for f in _store_files(store)
+            if f.endswith(".lock") or ".tmp-" in f
+        ]
+        assert leftovers == []
+        assert orphaned_segments() == []
+
+
+class TestWarmStartArena:
+    @pytest.mark.multiproc
+    def test_shm_hit_serves_from_arena(self, grid6_negative, tmp_path):
+        from repro.pram.shm import orphaned_segments
+
+        g, tree = grid6_negative
+        d = str(tmp_path / "store")
+        cold = ShortestPathOracle.build(g, tree, cache="readwrite", cache_dir=d)
+        warm = ShortestPathOracle.build(
+            g, tree, cache="read", cache_dir=d, executor="shm:2"
+        )
+        assert warm.cache_info["status"] == "hit"
+        assert warm.cache_info["arena_backed"] is True
+        assert warm.augmentation.arena is not None
+        with warm.query_engine(executor="shm:2") as eng:
+            got = eng.query([0, 9, 21])
+        assert np.array_equal(got, cold.distances([0, 9, 21]))
+        warm.close()
+        warm.close()  # idempotent
+        assert orphaned_segments() == []
+
+    def test_non_shm_hit_has_no_arena(self, grid7, tmp_path):
+        g, tree = grid7
+        d = str(tmp_path / "store")
+        ShortestPathOracle.build(g, tree, cache="readwrite", cache_dir=d)
+        hit = ShortestPathOracle.build(g, tree, cache="read", cache_dir=d)
+        assert hit.cache_info["arena_backed"] is False
+        assert hit.augmentation.arena is None
+        hit.close()  # no-op without an arena
+
+
+class TestRowLRU:
+    def test_hits_and_misses_counted(self, grid7):
+        g, tree = grid7
+        oracle = ShortestPathOracle.build(g, tree)
+        with oracle.query_engine(OracleConfig(executor="serial", row_cache=8)) as eng:
+            eng.query([0, 1, 2])
+            got = eng.query([1, 2, 3])
+            st = eng.stats()["row_cache"]
+            assert (st["hits"], st["misses"]) == (2, 4)
+            assert st["size"] == 4 and st["capacity"] == 8
+        assert np.array_equal(got, oracle.distances([1, 2, 3]))
+
+    def test_duplicate_sources_within_batch(self, grid7):
+        g, tree = grid7
+        oracle = ShortestPathOracle.build(g, tree)
+        with oracle.query_engine(OracleConfig(executor="serial", row_cache=8)) as eng:
+            got = eng.query([5, 5, 5, 6])
+            st = eng.stats()["row_cache"]
+            assert st["misses"] == 2  # only the unique sources relaxed
+            assert st["hits"] == 2  # the two repeats served from row 5
+        assert np.array_equal(got, oracle.distances([5, 5, 5, 6]))
+
+    def test_eviction_at_capacity(self, grid7):
+        g, tree = grid7
+        oracle = ShortestPathOracle.build(g, tree)
+        with oracle.query_engine(OracleConfig(executor="serial", row_cache=2)) as eng:
+            eng.query([0, 1, 2])  # 0 evicted on insert of 2
+            eng.query([0])
+            st = eng.stats()["row_cache"]
+            assert st["size"] == 2
+            assert st["misses"] == 4 and st["hits"] == 0
+
+    def test_epoch_invalidation_via_with_new_weights(self, grid7):
+        g, tree = grid7
+        oracle = ShortestPathOracle.build(g, tree)
+        reweighted = oracle.with_new_weights(g.weight * 3.0)
+        assert reweighted.augmentation.weights_epoch == 1
+        with reweighted.query_engine(
+            OracleConfig(executor="serial", row_cache=4)
+        ) as eng:
+            eng.query([0])
+            # Simulate the engine observing a newer lineage epoch.
+            reweighted.augmentation.weights_epoch = 2
+            got = eng.query([0])
+            st = eng.stats()["row_cache"]
+            assert st["epoch"] == 2
+            assert st["hits"] == 0 and st["misses"] == 2  # stale row dropped
+        assert np.array_equal(got, reweighted.distances(0)[None, :])
+
+    def test_zero_capacity_disables(self, grid7):
+        g, tree = grid7
+        oracle = ShortestPathOracle.build(g, tree)
+        with oracle.query_engine(OracleConfig(executor="serial")) as eng:
+            eng.query([0])
+            eng.query([0])
+            st = eng.stats()["row_cache"]
+            assert st == {
+                "capacity": 0, "size": 0, "hits": 0, "misses": 0,
+                "hit_rate": 0.0, "epoch": 0,
+            }
+
+
+class TestCacheCLI:
+    def test_ls_stats_clear(self, grid7, tmp_path, capsys):
+        from repro.cli import main
+
+        g, tree = grid7
+        d = str(tmp_path / "store")
+        ShortestPathOracle.build(g, tree, cache="readwrite", cache_dir=d)
+        assert main(["cache", "ls", "--cache-dir", d]) == 0
+        out = capsys.readouterr().out
+        assert "1 entries" in out and "leaves_up" in out
+        assert main(["cache", "stats", "--cache-dir", d]) == 0
+        assert "entries: 1" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", d]) == 0
+        assert "cleared 1 entries" in capsys.readouterr().out
+        assert main(["cache", "ls", "--cache-dir", d]) == 0
+        assert "empty" in capsys.readouterr().out
+
+
+def _stampede_worker(cache_dir: str, q) -> None:
+    """Spawn target for the process-stampede test (module level so the
+    'spawn' context can import it)."""
+    rng = np.random.default_rng(5)
+    g = grid_digraph((12, 12), rng)
+    tree = decompose_grid(g, (12, 12), leaf_size=8)
+    oracle = ShortestPathOracle.build(g, tree, cache="readwrite", cache_dir=cache_dir)
+    q.put((oracle.cache_info["status"], oracle.distances(0).tolist()))

@@ -95,6 +95,52 @@ class TestAugmentationIO:
         assert np.array_equal(reachable_from(back, [0]), reachable_from(aug, [0]))
 
 
+class TestEdgeCaseRoundTrips:
+    def test_zero_edge_graph(self, tmp_path):
+        """A graph with no edges round-trips: empty arrays, empty E⁺,
+        all-unreachable distances."""
+        from repro.core.digraph import WeightedDigraph
+        from repro.separators.spectral import decompose_spectral
+
+        g = WeightedDigraph(6, [], [], [])
+        tree = decompose_spectral(g, leaf_size=2)
+        aug = augment_leaves_up(g, tree, keep_node_distances=False)
+        p = tmp_path / "empty.npz"
+        save_augmentation(p, aug)
+        back = load_augmentation(p)
+        assert back.size == 0 and back.graph.m == 0
+        got = sssp_scheduled(back, [0])
+        assert got[0, 0] == 0.0 and np.isinf(got[0, 1:]).all()
+
+    def test_negative_weights_exact(self, grid6_negative, tmp_path):
+        """Negative weights survive bit-exactly (no lossy encode)."""
+        g, tree = grid6_negative
+        assert (g.weight < 0).any()  # the fixture really is negative
+        aug = augment_leaves_up(g, tree, keep_node_distances=False)
+        p = tmp_path / "neg.npz"
+        save_augmentation(p, aug)
+        back = load_augmentation(p)
+        assert np.array_equal(back.graph.weight, g.weight)
+        assert np.array_equal(back.weight, aug.weight)
+
+    def test_single_leaf_tree(self, tmp_path):
+        """A decomposition that is one leaf (no separators, empty E⁺)."""
+        from repro.separators.grid import decompose_grid
+        from repro.workloads.generators import grid_digraph
+
+        g = grid_digraph((2, 2), np.random.default_rng(0))
+        tree = decompose_grid(g, (2, 2), leaf_size=8)
+        assert len(tree.nodes) == 1
+        save_tree(tmp_path / "leaf.npz", tree)
+        back = load_tree(tmp_path / "leaf.npz")
+        assert len(back.nodes) == 1 and back.nodes[0].children == ()
+        aug = augment_leaves_up(g, back, keep_node_distances=False)
+        assert aug.size == 0
+        save_augmentation(tmp_path / "leaf_aug.npz", aug)
+        got = sssp_scheduled(load_augmentation(tmp_path / "leaf_aug.npz"), [0])
+        assert_distances_equal(got, reference_apsp(g)[[0]])
+
+
 class TestOracleSaveLoad:
     def test_facade_roundtrip(self, grid6_negative, tmp_path):
         from repro import ShortestPathOracle
@@ -105,3 +151,50 @@ class TestOracleSaveLoad:
         back = ShortestPathOracle.load(tmp_path / "oracle.npz")
         assert back.diameter_bound == oracle.diameter_bound
         assert np.array_equal(back.distances([0, 20]), oracle.distances([0, 20]))
+
+    def test_roundtrip_preserves_build_config(self, grid7, tmp_path):
+        """save → load → query_engine keeps the build's kernel/executor —
+        the format-2 ``config_json`` header (earlier formats silently
+        reverted a loaded oracle to default knobs)."""
+        from repro import ShortestPathOracle
+        from repro.core.config import OracleConfig
+
+        g, tree = grid7
+        cfg = OracleConfig(kernel="blocked", executor="thread:2", source_block=16)
+        oracle = ShortestPathOracle.build(g, tree, config=cfg)
+        oracle.save(tmp_path / "oracle.npz")
+        back = ShortestPathOracle.load(tmp_path / "oracle.npz")
+        assert back.config.kernel == "blocked"
+        assert back.config.executor == "thread:2"
+        assert back.config.source_block == 16
+        with back.query_engine(OracleConfig(executor="serial")) as eng:
+            got = eng.query([0, 11])
+        assert np.array_equal(got, oracle.distances([0, 11]))
+
+    def test_legacy_archive_defaults_config(self, grid7, tmp_path):
+        """An archive without the config header loads with default knobs."""
+        from repro import ShortestPathOracle
+
+        g, tree = grid7
+        aug = augment_leaves_up(g, tree, keep_node_distances=False)
+        p = tmp_path / "legacy.npz"
+        save_augmentation(p, aug)  # no config= → header omits config_json
+        back = ShortestPathOracle.load(p)
+        assert back.config.kernel is None
+        assert np.array_equal(back.distances(0), sssp_scheduled(aug, [0])[0])
+
+    def test_future_format_refused(self, grid7, tmp_path):
+        import numpy as _np
+
+        from repro.io import AUG_FORMAT_VERSION
+
+        g, tree = grid7
+        aug = augment_leaves_up(g, tree, keep_node_distances=False)
+        p = tmp_path / "future.npz"
+        save_augmentation(p, aug)
+        with np.load(p, allow_pickle=False) as z:
+            payload = {k: z[k] for k in z.files}
+        payload["version"] = _np.int64(AUG_FORMAT_VERSION + 1)
+        _np.savez_compressed(p, **payload)
+        with pytest.raises(ValueError, match="format"):
+            load_augmentation(p)

@@ -12,6 +12,10 @@ worker crashes.  This tool verifies that promise on a live machine:
   ``shm`` backend (including a deliberately crashing task), then scan.
 * ``--clean``: unlink whatever stale ``psp_*`` segments are found (e.g.
   after a SIGKILL'd orchestrator, where no finalizer could run).
+* ``--cache-dir DIR``: also scan the augmentation store (:mod:`repro.cache`)
+  for *stale* ``<key>.lock`` build locks (owner pid dead, or older than the
+  staleness bound) and orphaned ``*.tmp-*`` write files — the debris a
+  SIGKILL'd builder leaves behind; ``--clean`` removes those too.
 
 Exit code 0 = no leaks (after cleaning, if requested).
 """
@@ -29,6 +33,42 @@ def scan() -> list[str]:
     from repro.pram.shm import orphaned_segments
 
     return orphaned_segments()
+
+
+def scan_cache(cache_dir: str | None) -> list[str]:
+    """Paths of stale build locks and orphaned temp files under the store.
+
+    A ``<key>.lock`` counts only when :class:`repro.cache.AugmentationCache`
+    itself would break it (dead pid or over-age) — a live builder's lock is
+    healthy, not a leak.  Any ``*.tmp-*`` counts: atomic writes rename or
+    unlink theirs before returning, so a survivor is a crashed writer's.
+    """
+    import pathlib
+
+    from repro.cache import AugmentationCache
+
+    store = AugmentationCache(cache_dir)
+    base = pathlib.Path(store.dir)
+    if not base.is_dir():
+        return []
+    stale: list[str] = []
+    for path in sorted(base.iterdir()):
+        name = path.name
+        if ".tmp-" in name:
+            stale.append(str(path))
+        elif name.endswith(".lock") and name != "index.lock":
+            if store._lock_is_stale(path):
+                stale.append(str(path))
+    return stale
+
+
+def clean_cache(paths: list[str]) -> None:
+    for p in paths:
+        try:
+            os.unlink(p)
+            print(f"removed stale cache file {p}")
+        except FileNotFoundError:
+            pass
 
 
 def clean(names: list[str]) -> None:
@@ -78,7 +118,11 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--exercise", action="store_true",
                     help="run an shm workload (incl. a worker crash) first")
     ap.add_argument("--clean", action="store_true",
-                    help="unlink any stale segments found")
+                    help="unlink any stale segments / cache files found")
+    ap.add_argument("--cache-dir", dest="cache_dir", default=None,
+                    help="also scan this augmentation-store directory "
+                         "(pass '' for the default store) for stale locks "
+                         "and orphaned *.tmp-* files")
     args = ap.parse_args(argv)
     if args.exercise:
         exercise()
@@ -86,11 +130,25 @@ def main(argv: list[str] | None = None) -> int:
     if leaks and args.clean:
         clean(leaks)
         leaks = scan()
+    cache_leaks: list[str] = []
+    if args.cache_dir is not None:
+        cache_leaks = scan_cache(args.cache_dir or None)
+        if cache_leaks and args.clean:
+            clean_cache(cache_leaks)
+            cache_leaks = scan_cache(args.cache_dir or None)
+    rc = 0
     if leaks:
         print(f"LEAK: {len(leaks)} stale segment(s) in /dev/shm: {leaks}")
-        return 1
-    print("no leaked shared-memory segments")
-    return 0
+        rc = 1
+    else:
+        print("no leaked shared-memory segments")
+    if args.cache_dir is not None:
+        if cache_leaks:
+            print(f"LEAK: {len(cache_leaks)} stale cache file(s): {cache_leaks}")
+            rc = 1
+        else:
+            print("no stale cache locks or temp files")
+    return rc
 
 
 if __name__ == "__main__":
