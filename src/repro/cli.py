@@ -238,17 +238,39 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _configure_logging(verbose: int) -> None:
+    """Stdlib logging for the serving path: ``-v`` → INFO, ``-vv`` → DEBUG
+    on the ``repro`` logger (server lifecycle, fleet restarts, worker
+    events); default stays WARNING-quiet."""
+    import logging
+
+    level = (
+        logging.WARNING if verbose <= 0
+        else logging.INFO if verbose == 1
+        else logging.DEBUG
+    )
+    logging.basicConfig(
+        level=level, format="%(asctime)s %(levelname)s %(name)s: %(message)s"
+    )
+    logging.getLogger("repro").setLevel(level)
+
+
 def _cmd_serve(args) -> int:
     """Run the async coalescing query server (see :mod:`repro.server` and
     DESIGN.md §6) over a built — or loaded — oracle until SIGINT/SIGTERM,
-    then drain and shut down gracefully."""
+    then drain and shut down gracefully.  With ``--shards K`` the serving
+    engine is a :class:`~repro.shard.ShardRouter` fleet (one worker
+    process per shard; ``--pin`` adds per-worker CPU affinity)."""
     import asyncio
     import signal
 
     from .core.api import ShortestPathOracle
     from .server import OracleServer, ServerConfig
 
-    cfg = _oracle_config_from_args(args).replace(executor=args.backend)
+    _configure_logging(args.verbose)
+    cfg = _oracle_config_from_args(args).replace(
+        executor=args.backend, shards=args.shards, shard_pin=args.pin
+    )
     if args.load:
         oracle = ShortestPathOracle.load(args.load)
         print(f"loaded oracle from {args.load}: n={oracle.graph.n} "
@@ -259,6 +281,11 @@ def _cmd_serve(args) -> int:
             g, tree, config=cfg.replace(executor="serial")
         )
         print(f"built oracle: n={g.n} m={g.m} |E+|={oracle.augmentation.size}")
+    engine_factory = None
+    if args.shards > 0:
+        engine_factory = lambda: oracle.shard_fleet(  # noqa: E731
+            args.shards, config=cfg, pin=args.pin
+        )
     server_cfg = ServerConfig(
         path=args.socket,
         host=args.host,
@@ -270,13 +297,17 @@ def _cmd_serve(args) -> int:
     )
 
     async def run() -> None:
-        server = OracleServer(oracle, cfg, server_cfg)
+        server = OracleServer(oracle, cfg, server_cfg, engine_factory=engine_factory)
         await server.start()
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGINT, signal.SIGTERM):
             loop.add_signal_handler(sig, server.request_shutdown)
+        mode = (
+            f"shards={args.shards} pin={args.pin}" if args.shards > 0
+            else f"backend={cfg.executor}"
+        )
         print(f"serving on {server.address} "
-              f"(backend={cfg.executor} engine={cfg.engine} "
+              f"({mode} engine={cfg.engine} "
               f"max_batch={server_cfg.max_batch_rows} "
               f"max_wait={server_cfg.max_wait_us}µs "
               f"queue_limit={server_cfg.queue_limit}); Ctrl-C to stop")
@@ -471,6 +502,13 @@ def main(argv: list[str] | None = None) -> int:
                     help="default per-request timeout")
     p8.add_argument("--row-cache", dest="row_cache", type=int, default=1024,
                     help="per-source distance-row LRU capacity (0 disables)")
+    p8.add_argument("--shards", type=int, default=0,
+                    help="serve a K-shard separator fleet instead of one engine "
+                         "(one worker process per shard; 0 = single engine)")
+    p8.add_argument("--pin", action="store_true",
+                    help="pin each shard worker to one CPU (sched_setaffinity)")
+    p8.add_argument("-v", "--verbose", action="count", default=0,
+                    help="serving-path logging: -v INFO, -vv DEBUG")
     _add_cache_flags(p8)
     p8.set_defaults(fn=_cmd_serve)
 

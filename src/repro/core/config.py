@@ -65,6 +65,7 @@ _METHODS = ("leaves_up", "doubling", "doubling_shared")
 _ENGINES = ("scheduled", "naive")
 _KERNELS = (None, "auto", "reference", "blocked", "pruned")
 _CACHE_MODES = ("off", "read", "readwrite")
+_SHARD_BACKENDS = ("inline", "process")
 
 
 @dataclass(frozen=True)
@@ -114,6 +115,20 @@ class OracleConfig:
         QueryEngine` per-source distance-row LRU; ``0`` disables it.
         A repeated source is answered from the cache without relaxation —
         bit-identical by determinism of both engines.
+    shards:
+        Shard count for the separator-sharded fleet
+        (:mod:`repro.shard`): ``0`` serves with a single engine, ``k >= 1``
+        cuts the separator tree into ``k`` shard oracles routed through
+        the boundary-clique spine.
+    shard_backend:
+        Where shard engines live: ``"process"`` (one worker process per
+        shard, each owning its own shm arena) or ``"inline"`` (K engines
+        in the calling process — zero IPC, useful for tests and
+        single-CPU hosts).
+    shard_pin:
+        Pin each shard worker process to one CPU via
+        ``os.sched_setaffinity`` (process backend only), so a shard's
+        pages stay on the NUMA node of the CPU that computes them.
     """
 
     method: str = "leaves_up"
@@ -129,6 +144,9 @@ class OracleConfig:
     cache: str = "off"
     cache_dir: str | None = None
     row_cache: int = 0
+    shards: int = 0
+    shard_backend: str = "process"
+    shard_pin: bool = False
 
     def __post_init__(self) -> None:
         if self.method not in _METHODS:
@@ -145,6 +163,13 @@ class OracleConfig:
             raise ValueError(f"cache must be one of {_CACHE_MODES}, got {self.cache!r}")
         if int(self.row_cache) < 0:
             raise ValueError(f"row_cache must be >= 0, got {self.row_cache!r}")
+        if int(self.shards) < 0:
+            raise ValueError(f"shards must be >= 0, got {self.shards!r}")
+        if self.shard_backend not in _SHARD_BACKENDS:
+            raise ValueError(
+                f"shard_backend must be one of {_SHARD_BACKENDS}, "
+                f"got {self.shard_backend!r}"
+            )
 
     # -------------------------------------------------------------- #
 

@@ -168,8 +168,16 @@ class ShmArena:
     call :meth:`close`; a finalizer unlinks everything if the owner forgets.
     """
 
-    def __init__(self, chunk_bytes: int = 1 << 23) -> None:
+    def __init__(self, chunk_bytes: int = 1 << 23, *, tag: str = "") -> None:
         self._chunk_bytes = int(chunk_bytes)
+        # Optional owner tag folded into segment names right after the
+        # module prefix (e.g. tag="s3" → "psps3_<pid>_<hex>"): shard fleet
+        # workers tag their arenas so a supervisor can sweep exactly the
+        # segments of one dead worker.  Still SEGMENT_PREFIX-prefixed, so
+        # the leak checker sees tagged segments too.
+        if tag and not tag.isalnum():
+            raise ValueError(f"arena tag must be alphanumeric, got {tag!r}")
+        self._tag = tag
         self._segments: list[shared_memory.SharedMemory] = []
         self._cursor = 0
         self._capacity = 0
@@ -197,7 +205,7 @@ class ShmArena:
 
     def _new_segment(self, at_least: int) -> None:
         size = max(self._chunk_bytes, at_least)
-        name = f"{SEGMENT_PREFIX}_{os.getpid():d}_{secrets.token_hex(6)}"
+        name = f"{SEGMENT_PREFIX}{self._tag}_{os.getpid():d}_{secrets.token_hex(6)}"
         self._segments.append(shared_memory.SharedMemory(name=name, create=True, size=size))
         self._cursor = 0
         self._capacity = size

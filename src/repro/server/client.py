@@ -21,13 +21,20 @@ from typing import Any
 
 import numpy as np
 
-from .protocol import ServerError, decode, encode
+from .protocol import UNAVAILABLE, ServerError, decode, encode
 
 __all__ = ["OracleClient"]
 
 
 class OracleClient:
     """Blocking connection to an :class:`~repro.server.OracleServer`.
+
+    Every request op is read-only (and therefore idempotent), so the
+    client transparently retries a call once when the connection drops
+    mid-flight (``ConnectionResetError`` / a server that closed the
+    socket) or the server answers 503 while draining — a short backoff,
+    a reconnect when the socket died, and one resend.  Anything else
+    (400s, 429, timeouts, a second failure) propagates to the caller.
 
     Parameters
     ----------
@@ -39,6 +46,11 @@ class OracleClient:
     connect_retry_s:
         Keep retrying the initial connection for this long — covers the
         race of a client starting before the server finished binding.
+    retries:
+        How many times a dropped-connection/503 call is retried
+        (default 1; 0 disables the retry).
+    retry_backoff_s:
+        Sleep before each retry (scaled by the attempt number).
     """
 
     def __init__(
@@ -47,9 +59,14 @@ class OracleClient:
         *,
         timeout: float = 30.0,
         connect_retry_s: float = 5.0,
+        retries: int = 1,
+        retry_backoff_s: float = 0.05,
     ) -> None:
         self.address = address
         self.timeout = float(timeout)
+        self.retries = max(0, int(retries))
+        self.retry_backoff_s = float(retry_backoff_s)
+        self._connect_retry_s = float(connect_retry_s)
         self._ids = itertools.count()
         self._sock = self._connect(address, connect_retry_s)
         self._sock.settimeout(self.timeout)
@@ -72,7 +89,37 @@ class OracleClient:
 
     # ------------------------------------------------------------ #
 
+    def _reconnect(self) -> None:
+        """Drop the dead socket and dial the server again."""
+        self.close()
+        self._sock = self._connect(self.address, self._connect_retry_s)
+        self._sock.settimeout(self.timeout)
+        self._file = self._sock.makefile("rwb")
+
     def _call(self, op: str, **fields: Any) -> dict[str, Any]:
+        """One request/response round trip, with the idempotent-retry
+        policy of the class docstring (reset/503 → backoff, retry once)."""
+        for attempt in range(self.retries + 1):
+            try:
+                return self._call_once(op, **fields)
+            except ConnectionError:
+                # Covers ConnectionResetError / BrokenPipeError and the
+                # explicit "server closed the connection": the socket is
+                # dead, so a retry must redial first.
+                if attempt >= self.retries:
+                    raise
+                time.sleep(self.retry_backoff_s * (attempt + 1))
+                self._reconnect()
+            except ServerError as exc:
+                # 503: the server is draining — possibly a restart; give a
+                # replacement a moment, then retry on a fresh connection.
+                if exc.code != UNAVAILABLE or attempt >= self.retries:
+                    raise
+                time.sleep(self.retry_backoff_s * (attempt + 1))
+                self._reconnect()
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _call_once(self, op: str, **fields: Any) -> dict[str, Any]:
         req_id = next(self._ids)
         req = {"id": req_id, "op": op, "timeout_ms": self.timeout * 1e3, **fields}
         self._file.write(encode(req))

@@ -35,8 +35,9 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import logging
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
@@ -59,6 +60,8 @@ from .protocol import (
 )
 
 __all__ = ["ServerConfig", "OracleServer"]
+
+_log = logging.getLogger(__name__)
 
 #: Stream buffer limit — a request line listing thousands of sources (or a
 #: response carrying (s, n) distances) far exceeds asyncio's 64 KiB default.
@@ -130,6 +133,13 @@ class OracleServer:
     server:
         :class:`ServerConfig` with the socket address and the coalescing /
         backpressure / timeout knobs.
+    engine_factory:
+        Optional zero-argument callable building the serving engine; it
+        replaces the default ``oracle.query_engine(config)`` and may
+        return anything speaking the engine protocol (``submit`` /
+        ``stats`` / ``close``) — in particular a
+        :class:`~repro.shard.ShardRouter` to serve a sharded fleet behind
+        the same coalescing front end.
     """
 
     def __init__(
@@ -137,9 +147,12 @@ class OracleServer:
         oracle: ShortestPathOracle,
         config: OracleConfig | None = None,
         server: ServerConfig | None = None,
+        *,
+        engine_factory: Callable[[], Any] | None = None,
     ) -> None:
         self.oracle = oracle
         self.engine_config = config
+        self.engine_factory = engine_factory
         self.server_config = server if server is not None else ServerConfig()
         self.metrics = ServerMetrics()
         self.engine = None
@@ -179,11 +192,13 @@ class OracleServer:
         self._t_start = loop.time()
         self._queue = asyncio.Queue()
         self._stop_event = asyncio.Event()
-        # Engine construction compiles/publishes the phase arrays — keep
-        # the loop responsive by doing it on the executor.
-        self.engine = await loop.run_in_executor(
-            None, lambda: self.oracle.query_engine(self.engine_config)
+        # Engine construction compiles/publishes the phase arrays (or
+        # spins up a whole shard fleet) — keep the loop responsive by
+        # doing it on the executor.
+        factory = self.engine_factory or (
+            lambda: self.oracle.query_engine(self.engine_config)
         )
+        self.engine = await loop.run_in_executor(None, factory)
         self._batcher = asyncio.create_task(self._batch_loop())
         cfg = self.server_config
         if cfg.path is not None:
@@ -194,21 +209,32 @@ class OracleServer:
             self._server = await asyncio.start_server(
                 self._handle_conn, cfg.host, cfg.port, limit=_STREAM_LIMIT
             )
+        _log.info(
+            "server: listening on %s (engine %s, coalesce %dus/%d rows)",
+            self.address,
+            type(self.engine).__name__,
+            cfg.max_wait_us,
+            cfg.max_batch_rows,
+        )
 
     async def stop(self) -> None:
         """Graceful shutdown: stop accepting, drain, then close the engine.
 
         Ordering is load-bearing: (1) the listener closes so no new work
         arrives; (2) already-admitted requests drain through the batcher —
-        their responses still go out; (3) only then does the engine close,
-        unlinking the shm arena the drained batches were still reading;
-        (4) remaining connections are closed.  Idempotent.
+        their responses still go out; (3) only then do the engine *and the
+        oracle* close, unlinking the serving-pool arena the drained
+        batches were still reading plus any warm-start arena a cache-hit
+        build left behind (closing only the engine used to leak the
+        latter into ``/dev/shm`` until GC); (4) remaining connections are
+        closed.  Idempotent.
         """
         if self._stopped or not self._started:
             self._stopped = True
             return
         self._stopped = True
         self._draining = True  # new row ops answer 503 from here on
+        _log.info("server: draining (%d pending row requests)", self._pending)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -218,12 +244,16 @@ class OracleServer:
         loop = asyncio.get_running_loop()
         if self.engine is not None:
             await loop.run_in_executor(None, self.engine.close)
+        # The oracle may hold its own arena (warm-start pages of a
+        # cache-hit shm build) independent of the engine's; release it too.
+        await loop.run_in_executor(None, self.oracle.close)
         for writer in list(self._writers):
             writer.close()
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
         if self._stop_event is not None:
             self._stop_event.set()
+        _log.info("server: stopped")
 
     def request_shutdown(self) -> None:
         """Signal-safe shutdown trigger for :meth:`serve_forever`."""
@@ -469,6 +499,10 @@ class OracleServer:
         try:
             dist, info = await loop.run_in_executor(None, self.engine.submit, srcs)
         except Exception as exc:
+            _log.error(
+                "server: batch of %d rows failed: %s: %s",
+                int(srcs.shape[0]), type(exc).__name__, exc,
+            )
             for p in batch:
                 if not p.fut.done():
                     p.fut.set_exception(

@@ -1,0 +1,136 @@
+"""One warm per-shard engine: build + serve a shard's subgraph.
+
+A :class:`ShardEngine` is the unit both fleet backends share: the inline
+router holds K of them in-process, and every fleet worker process holds
+exactly one.  It runs the ordinary oracle pipeline on the shard subgraph —
+which means a shard build participates in the content-addressed
+augmentation cache (:mod:`repro.cache`) exactly like a full build does:
+each shard's subgraph + subtree hash to their own store entry, so a
+restarted worker (or a re-created fleet over the same plan) is a warm
+start, not a rebuild.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Any
+
+import numpy as np
+
+from ..core.config import OracleConfig
+
+__all__ = ["ShardEngine", "shard_build_config"]
+
+_log = logging.getLogger(__name__)
+
+
+def shard_build_config(config: OracleConfig | None) -> OracleConfig:
+    """The per-shard build/serve config derived from a fleet config.
+
+    Shards relax inline inside their own process (the fleet's parallelism
+    is *across* shard processes, not within one), never keep per-node
+    matrices, and never re-validate the already-validated decomposition;
+    the fleet-level shard knobs are zeroed so a shard cannot recursively
+    shard itself.  Cache mode/dir pass through — that is what makes
+    respawn warm.
+    """
+    cfg = config if config is not None else OracleConfig()
+    return cfg.replace(
+        executor="serial",
+        keep_node_distances=False,
+        validate=False,
+        row_cache=0,
+        shards=0,
+        shard_pin=False,
+    )
+
+
+class ShardEngine:
+    """Warm engine over one shard: local distances on demand.
+
+    Parameters
+    ----------
+    shard_id:
+        Fleet-wide shard id (for logs and telemetry).
+    graph, tree:
+        The shard's local subgraph and its relabeled separator subtree
+        (see :class:`~repro.shard.partition.Shard`).
+    boundary_local:
+        Local ids of the shard's boundary vertices ``B(t)``.
+    config:
+        Fleet :class:`~repro.core.config.OracleConfig`; build fields
+        (method, semiring, kernel, cache mode/dir) are honored via
+        :func:`shard_build_config`.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        graph,
+        tree,
+        boundary_local: np.ndarray,
+        config: OracleConfig | None = None,
+    ) -> None:
+        from ..core.api import ShortestPathOracle
+        from ..core.query import QueryEngine
+
+        cfg = shard_build_config(config)
+        self.shard_id = int(shard_id)
+        self.boundary_local = np.asarray(boundary_local, dtype=np.int64)
+        t0 = time.perf_counter()
+        self.oracle = ShortestPathOracle.build(graph, tree, config=cfg)
+        self.build_s = time.perf_counter() - t0
+        self.cache_status = self.oracle.cache_info.get("status", "off")
+        self.engine = QueryEngine(self.oracle.augmentation, cfg)
+        self.queries = 0
+        self.rows = 0
+        self.wall_s = 0.0
+        _log.debug(
+            "shard %d: engine up (n=%d, m=%d, |E+|=%d, build %.3fs, cache %s)",
+            self.shard_id, graph.n, graph.m, self.oracle.augmentation.size,
+            self.build_s, self.cache_status,
+        )
+
+    @property
+    def n(self) -> int:
+        """Local vertex count of the shard."""
+        return int(self.oracle.graph.n)
+
+    def boundary_matrix(self) -> np.ndarray:
+        """Exact in-shard distances from every boundary vertex:
+        ``(|B(t)|, n_t)`` — the rows that weight the spine's clique edges
+        and compose leg 3 of the router."""
+        if self.boundary_local.size == 0:
+            return np.empty((0, self.n), dtype=self.oracle.semiring.dtype)
+        return self.query_rows(self.boundary_local)
+
+    def query_rows(self, sources_local: np.ndarray) -> np.ndarray:
+        """Distance rows ``(s, n_t)`` from local source ids (leg 1)."""
+        srcs = np.asarray(sources_local, dtype=np.int64)
+        if srcs.size == 0:
+            return np.empty((0, self.n), dtype=self.oracle.semiring.dtype)
+        t0 = time.perf_counter()
+        dist, _ = self.engine.submit(srcs)
+        self.wall_s += time.perf_counter() - t0
+        self.queries += 1
+        self.rows += int(srcs.shape[0])
+        return dist if dist.ndim == 2 else dist[None, :]
+
+    def stats(self) -> dict[str, Any]:
+        """Per-shard serving counters (fan into the router's ``stats``)."""
+        return {
+            "shard": self.shard_id,
+            "n": self.n,
+            "boundary": int(self.boundary_local.shape[0]),
+            "queries": self.queries,
+            "rows": self.rows,
+            "wall_s": self.wall_s,
+            "build_s": self.build_s,
+            "cache_status": self.cache_status,
+        }
+
+    def close(self) -> None:
+        """Release the engine and the shard oracle's arenas (idempotent)."""
+        self.engine.close()
+        self.oracle.close()

@@ -1,0 +1,245 @@
+"""Fleet supervision: spawn, health-check, restart, and drain shard workers.
+
+:class:`ShardFleet` owns one :class:`~repro.shard.worker.WorkerHandle` per
+shard of a :class:`~repro.shard.partition.ShardPlan`.  Its lifecycle jobs:
+
+* **spawn** — all workers start concurrently, so the fleet's build time is
+  the *slowest shard*, not the sum; with ``pin=True`` workers are assigned
+  CPUs round-robin over this process's affinity mask before they build, so
+  first-touch places each shard's pages on its CPU's NUMA node.
+* **health-check / restart** — a worker that dies (crash op, OOM kill,
+  bug) is detected on the next call or ping; the supervisor sweeps the
+  dead worker's shm segments and respawns it.  Because shard builds go
+  through the content-addressed augmentation cache, a respawn over the
+  same shard plan is a warm start (load, not rebuild) whenever the fleet
+  config enables the cache.
+* **fan-out** — :meth:`query_rows_many` sends every shard request before
+  collecting any response, so shard work overlaps across processes; a
+  request lost to a crash is retried exactly once on the restarted worker.
+* **drain** — :meth:`close` asks each worker to close its engine and
+  arena, reaps the process, and sweeps anything a non-compliant worker
+  left in ``/dev/shm``.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import time
+from typing import Any
+
+import numpy as np
+
+from ..core.config import OracleConfig
+from .engine import shard_build_config
+from .partition import ShardPlan
+from .worker import WorkerCrash, WorkerHandle
+
+__all__ = ["ShardFleet"]
+
+_log = logging.getLogger(__name__)
+
+
+def _affinity_cpus() -> list[int]:
+    """CPUs this process may run on (pinning pool), best effort."""
+    if hasattr(os, "sched_getaffinity"):
+        return sorted(os.sched_getaffinity(0))
+    return list(range(os.cpu_count() or 1))  # pragma: no cover - non-Linux
+
+
+class ShardFleet:
+    """One supervised worker process per shard of a plan.
+
+    Parameters
+    ----------
+    plan:
+        The shard plan to serve.
+    config:
+        Fleet :class:`~repro.core.config.OracleConfig`; per-shard build
+        knobs are derived via
+        :func:`~repro.shard.engine.shard_build_config` before shipping to
+        workers.
+    pin:
+        Pin each worker to one CPU (round-robin over the supervisor's
+        affinity mask).
+    log_level:
+        Worker-process log level (defaults to the supervisor's effective
+        level for the ``repro`` logger).
+    """
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        config: OracleConfig | None = None,
+        *,
+        pin: bool = False,
+        log_level: int | None = None,
+    ) -> None:
+        self.plan = plan
+        self.config = shard_build_config(config)
+        self.pin = bool(pin)
+        cpus = _affinity_cpus() if self.pin else []
+        if log_level is None:
+            log_level = logging.getLogger("repro").getEffectiveLevel()
+        self.handles: list[WorkerHandle] = [
+            WorkerHandle(
+                shard.id,
+                shard.graph,
+                shard.tree,
+                shard.boundary_local,
+                self.config,
+                pin_cpu=cpus[i % len(cpus)] if cpus else None,
+                log_level=log_level,
+            )
+            for i, shard in enumerate(plan.shards)
+        ]
+        self._started = False
+        self._closed = False
+        self.restarts_total = 0
+
+    @property
+    def k(self) -> int:
+        """Number of shard workers."""
+        return len(self.handles)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+
+    def start(self) -> None:
+        """Spawn every worker, then wait for all builds (cache-warm when
+        the store has the shard's augmentation)."""
+        if self._started:
+            return
+        t0 = time.perf_counter()
+        for h in self.handles:
+            h.spawn()
+        for h in self.handles:
+            info = h.wait_ready()
+            _log.info(
+                "shard %d: worker %d ready in %.3fs (cache %s, pinned cpu %s)",
+                h.shard_id, info["pid"], info["build_s"],
+                info["cache_status"], info["pinned_cpu"],
+            )
+        self._started = True
+        _log.info("fleet: %d workers up in %.3fs", self.k, time.perf_counter() - t0)
+
+    def restart(self, shard_id: int) -> None:
+        """Respawn one worker: reap the corpse, sweep its stale shm
+        segments, spawn + wait ready (warm via the augmentation cache)."""
+        h = self.handles[shard_id]
+        _log.warning(
+            "shard %d: restarting worker %s (restart #%d)",
+            shard_id, h.pid, h.restarts + 1,
+        )
+        h.kill()
+        swept = h.clean_stale_segments()
+        h.spawn()
+        info = h.wait_ready()
+        h.restarts += 1
+        self.restarts_total += 1
+        _log.warning(
+            "shard %d: worker %d restarted in %.3fs (cache %s, swept %d segment(s))",
+            shard_id, info["pid"], info["build_s"], info["cache_status"], len(swept),
+        )
+
+    def _call_with_retry(self, shard_id: int, op: str, arg: Any = None) -> Any:
+        """One worker round trip, retried exactly once across a restart."""
+        try:
+            return self.handles[shard_id].call(op, arg)
+        except WorkerCrash as exc:
+            _log.warning("shard %d: %s", shard_id, exc)
+            self.restart(shard_id)
+            return self.handles[shard_id].call(op, arg)
+
+    # ------------------------------------------------------------------ #
+    # fleet operations
+
+    def boundary_matrices(self) -> list[np.ndarray]:
+        """Every shard's boundary-row matrix ``(|B(t)|, n_t)``, id order
+        (computed in the workers, copied out of their arenas)."""
+        out = []
+        for h in self.handles:
+            payload = self._call_with_retry(h.shard_id, "boundary")
+            out.append(h.fetch_rows(payload))
+        return out
+
+    def query_rows_many(
+        self, requests: list[tuple[int, np.ndarray]]
+    ) -> dict[int, np.ndarray]:
+        """Leg-1 fan-out: local distance rows per ``(shard_id, local
+        sources)`` request.
+
+        All requests are sent before any response is collected, so shards
+        relax concurrently; a worker that died takes one restart + resend.
+        """
+        sent: dict[int, np.ndarray] = {}
+        for sid, local in requests:
+            local = np.asarray(local, dtype=np.int64)
+            sent[sid] = local
+            try:
+                self.handles[sid].send_request("query", local)
+            except WorkerCrash as exc:
+                _log.warning("shard %d: %s", sid, exc)
+                self.restart(sid)
+                self.handles[sid].send_request("query", local)
+        out: dict[int, np.ndarray] = {}
+        for sid, local in sent.items():
+            h = self.handles[sid]
+            try:
+                payload = h.recv_response()
+            except WorkerCrash as exc:
+                _log.warning("shard %d: %s", sid, exc)
+                self.restart(sid)
+                payload = self.handles[sid].call("query", local)
+            out[sid] = h.fetch_rows(payload)
+        return out
+
+    def health_check(self) -> dict[str, Any]:
+        """Ping every worker; dead ones are restarted on the spot."""
+        restarted = []
+        for h in self.handles:
+            try:
+                h.call("ping", timeout=30.0)
+            except (WorkerCrash, RuntimeError):
+                self.restart(h.shard_id)
+                restarted.append(h.shard_id)
+        return {
+            "backend": "process",
+            "alive": self.k,
+            "restarted": restarted,
+            "restarts_total": self.restarts_total,
+        }
+
+    def stats(self) -> list[dict[str, Any]]:
+        """Per-shard serving counters, annotated with process telemetry."""
+        out = []
+        for h in self.handles:
+            try:
+                s = self._call_with_retry(h.shard_id, "stats")
+            except (WorkerCrash, RuntimeError):  # pragma: no cover - double crash
+                s = {"shard": h.shard_id, "error": "worker unavailable"}
+            s.update(
+                pid=h.pid,
+                restarts=h.restarts,
+                pinned_cpu=(h.ready_info or {}).get("pinned_cpu"),
+            )
+            out.append(s)
+        return out
+
+    def close(self) -> None:
+        """Drain the fleet: every worker closes its engine + arena and is
+        reaped; stale segments of any unclean death are swept (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for h in self.handles:
+            h.close()
+        _log.info("fleet: drained %d workers (%d restarts)", self.k, self.restarts_total)
+
+    def __enter__(self) -> "ShardFleet":
+        """Context-manager entry: the fleet itself."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Context-manager exit: drain the fleet."""
+        self.close()

@@ -228,6 +228,32 @@ class TestShutdown:
         assert np.array_equal(got, want)
         assert orphaned_segments() == []
 
+    def test_shutdown_closes_oracle_warm_start_arena(self, grid6_negative, tmp_path):
+        """Regression: stop() must close the *oracle* too, not only the
+        engine.  A cache-hit build destined for the shm backend loads its
+        augmentation into a warm-start arena owned by the oracle; before
+        the fix, shutdown left that arena's segments in /dev/shm until GC.
+        """
+        g, tree = grid6_negative
+        store = str(tmp_path / "store")
+        # build #1 populates the store; build #2 is an arena-backed hit
+        ShortestPathOracle.build(
+            g, tree, config=OracleConfig(cache="readwrite", cache_dir=store)
+        )
+        oracle = ShortestPathOracle.build(
+            g, tree,
+            config=OracleConfig(cache="read", cache_dir=store, executor="shm:2"),
+        )
+        assert oracle.cache_info["status"] == "hit"
+        assert oracle.cache_info["arena_backed"] is True
+        assert orphaned_segments() != []  # the warm-start arena is live
+        want = oracle.distances([0, 7])
+        with serving(oracle, tmp_path) as (sock, _):  # serial engine
+            with OracleClient(sock) as c:
+                got = c.distances([0, 7])
+        assert np.array_equal(got, want)
+        assert orphaned_segments() == []  # oracle arena unlinked by stop()
+
     def test_requests_after_drain_rejected(self, oracle, tmp_path):
         with serving(oracle, tmp_path) as (sock, server):
             with OracleClient(sock) as c:
@@ -286,3 +312,87 @@ class TestSmoke:
         assert snap["error_total"] == 0 and snap["shed_total"] == 0
         assert snap["batches_total"] >= 1
         assert orphaned_segments() == []
+
+
+class TestClientRetry:
+    """The idempotent-retry policy of :class:`OracleClient` against a
+    deliberately flaky fake server (scripted per-connection behaviors)."""
+
+    @staticmethod
+    def _flaky_server(sock_path: str, behaviors: list[str]) -> list[dict]:
+        """Serve one scripted connection per behavior; returns the (live)
+        list of requests received so far."""
+        received: list[dict] = []
+        srv = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        srv.bind(sock_path)
+        srv.listen(8)
+
+        def loop():
+            for mode in behaviors:
+                conn, _ = srv.accept()
+                f = conn.makefile("rb")
+                line = f.readline()
+                if line:
+                    received.append(json.loads(line))
+                req_id = received[-1]["id"] if received else None
+                if mode == "drop":
+                    pass  # close without answering → ConnectionError
+                elif mode == "unavailable":
+                    resp = {"id": req_id, "ok": False, "code": 503,
+                            "error": "server is shutting down"}
+                    conn.sendall((json.dumps(resp) + "\n").encode())
+                elif mode == "bad":
+                    resp = {"id": req_id, "ok": False, "code": 400,
+                            "error": "no such thing"}
+                    conn.sendall((json.dumps(resp) + "\n").encode())
+                else:  # "ok"
+                    resp = {"id": req_id, "ok": True,
+                            "result": {"sources": received[-1]["sources"],
+                                       "distances": [[0.0, 1.0]]}}
+                    conn.sendall((json.dumps(resp) + "\n").encode())
+                f.close()
+                conn.close()
+            srv.close()
+
+        threading.Thread(target=loop, daemon=True).start()
+        return received
+
+    def test_retries_once_after_connection_drop(self, tmp_path):
+        sock = str(tmp_path / "flaky.sock")
+        received = self._flaky_server(sock, ["drop", "ok"])
+        with OracleClient(sock, retry_backoff_s=0.01) as c:
+            got = c.distances([0])
+        assert np.array_equal(got, [[0.0, 1.0]])
+        assert len(received) == 2  # original + one resend
+
+    def test_retries_once_after_503_drain(self, tmp_path):
+        sock = str(tmp_path / "flaky.sock")
+        received = self._flaky_server(sock, ["unavailable", "ok"])
+        with OracleClient(sock, retry_backoff_s=0.01) as c:
+            got = c.distances([0])
+        assert np.array_equal(got, [[0.0, 1.0]])
+        assert len(received) == 2
+
+    def test_second_failure_propagates(self, tmp_path):
+        sock = str(tmp_path / "flaky.sock")
+        self._flaky_server(sock, ["drop", "drop"])
+        with OracleClient(sock, retry_backoff_s=0.01) as c:
+            with pytest.raises(ConnectionError):
+                c.distances([0])
+
+    def test_retry_disabled(self, tmp_path):
+        sock = str(tmp_path / "flaky.sock")
+        received = self._flaky_server(sock, ["drop", "ok"])
+        with OracleClient(sock, retries=0) as c:
+            with pytest.raises(ConnectionError):
+                c.distances([0])
+        assert len(received) == 1  # no resend
+
+    def test_client_errors_not_retried(self, tmp_path):
+        sock = str(tmp_path / "flaky.sock")
+        received = self._flaky_server(sock, ["bad", "ok"])
+        with OracleClient(sock, retry_backoff_s=0.01) as c:
+            with pytest.raises(ServerError) as err:
+                c.distances([0])
+        assert err.value.code == 400
+        assert len(received) == 1  # 400 is the caller's problem, no retry

@@ -5,9 +5,13 @@ The zero-copy plane (:mod:`repro.pram.shm`) promises that every segment it
 creates in ``/dev/shm`` is unlinked when its arena closes — even across
 worker crashes.  This tool verifies that promise on a live machine:
 
-* ``--scan`` (default): list any ``psp_*`` segments currently present and
+* ``--scan`` (default): list any ``psp*`` segments currently present and
   exit non-zero if any exist.  Run it after a test session or a bench run;
-  a clean tree prints nothing.
+  a clean tree prints nothing.  Plain arenas name segments
+  ``psp_<pid>_<hex>``; shard-fleet workers name theirs
+  ``psps<shard>_<pid>_<hex>`` (see :class:`repro.pram.shm.ShmArena`'s
+  ``tag``) — the report annotates which shard and owner pid a leaked
+  segment belonged to.
 * ``--exercise``: run a full augmentation + batched-query workload on the
   ``shm`` backend (including a deliberately crashing task), then scan.
 * ``--clean``: unlink whatever stale ``psp_*`` segments are found (e.g.
@@ -24,15 +28,32 @@ from __future__ import annotations
 
 import argparse
 import os
+import re
 import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+
+#: Segment-name shape: ``psp[s<shard>]_<pid>_<hex>`` (plain arenas carry no
+#: tag; shard-fleet workers tag theirs with the shard id).
+_SEGMENT_RE = re.compile(r"^psp(?:s(\d+))?_(\d+)_[0-9a-f]+$")
 
 
 def scan() -> list[str]:
     from repro.pram.shm import orphaned_segments
 
     return orphaned_segments()
+
+
+def describe(name: str) -> str:
+    """Human-readable provenance of a segment name: its owner pid, and —
+    for per-shard fleet arenas — which shard's worker created it."""
+    m = _SEGMENT_RE.match(name)
+    if not m:
+        return name
+    shard, pid = m.groups()
+    who = f"shard {shard} worker" if shard is not None else "arena owner"
+    return f"{name} ({who} pid {pid})"
 
 
 def scan_cache(cache_dir: str | None) -> list[str]:
@@ -138,7 +159,8 @@ def main(argv: list[str] | None = None) -> int:
             cache_leaks = scan_cache(args.cache_dir or None)
     rc = 0
     if leaks:
-        print(f"LEAK: {len(leaks)} stale segment(s) in /dev/shm: {leaks}")
+        print(f"LEAK: {len(leaks)} stale segment(s) in /dev/shm: "
+              f"{[describe(name) for name in leaks]}")
         rc = 1
     else:
         print("no leaked shared-memory segments")
