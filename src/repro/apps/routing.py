@@ -57,6 +57,54 @@ class DistanceOracle:
         fn = augment_leaves_up if method == "leaves_up" else augment_doubling
         return cls(fn(graph, tree, semiring, keep_node_distances=True))
 
+    def with_new_weights(self, weight=None, *, weight_delta=None) -> "DistanceOracle":
+        """A fresh pair oracle for new edge weights on the same skeleton —
+        the certified per-node matrices are replayed through the build's
+        retained provenance (:class:`~repro.core.reweight.ReweightPlan`),
+        never re-derived from a separator recursion.  Pass either
+        ``weight`` (the full edge-order vector) or ``weight_delta`` (a
+        ``{edge_id: new_weight}`` mapping or ``(edge_ids, new_weights)``
+        pair of absolute assignments).  Requires a ``leaves_up`` lineage.
+        """
+        from ..core.reweight import ReweightPlan
+
+        if self.aug.method != "leaves_up":
+            raise ValueError(
+                f"reweight requires a leaves_up lineage, got {self.aug.method!r}"
+            )
+        if (weight is None) == (weight_delta is None):
+            raise ValueError("pass exactly one of weight or weight_delta")
+        g = self.aug.graph
+        dirty = None
+        if weight_delta is not None:
+            if isinstance(weight_delta, dict):
+                idx = np.fromiter(weight_delta.keys(), dtype=np.int64, count=len(weight_delta))
+                vals = np.asarray([weight_delta[int(e)] for e in idx], dtype=g.weight.dtype)
+            else:
+                idx, vals = weight_delta
+                idx = np.asarray(idx, dtype=np.int64)
+                vals = np.asarray(vals, dtype=g.weight.dtype)
+            weight = g.weight.copy()
+            weight[idx] = vals
+            dirty = idx
+        new_graph = type(g)(g.n, g.src, g.dst, np.asarray(weight, dtype=g.weight.dtype))
+        plan = getattr(self.aug, "_reweight_plan", None)
+        if plan is None:
+            plan = ReweightPlan.capture(g, self.tree)
+        base_state = getattr(self.aug, "_reweight_state", None)
+        if base_state is None:
+            dirty = None  # no retained heap: the first refresh runs densely
+        aug = plan.run(
+            new_graph,
+            self.semiring,
+            base_state=base_state,
+            dirty_edges=dirty,
+            keep_node_distances=True,
+        )
+        aug.weights_epoch = getattr(self.aug, "weights_epoch", 0) + 1
+        aug._reweight_plan = plan  # type: ignore[attr-defined]
+        return DistanceOracle(aug)
+
     # -------------------------------------------------------------- #
 
     def distance(self, u: int, v: int) -> float:

@@ -8,6 +8,7 @@ Subcommands
 ``table1``  quick Table-1-style sweep (ledger work vs n, fitted exponents)
 ``query``   serve batched multi-source queries via the persistent engine
 ``serve``   run the async coalescing query server on a socket
+``reweight`` hot-swap a running server to new edge weights (zero downtime)
 ``cache``   manage the content-addressed augmentation store (ls/stats/clear)
 ``selftest`` end-to-end install verification against independent baselines
 ``report``  aggregate benchmark results into one document
@@ -36,6 +37,7 @@ def _oracle_config_from_args(args):
         cache=getattr(args, "cache", None) or "off",
         cache_dir=getattr(args, "cache_dir", None),
         row_cache=getattr(args, "row_cache", 0) or 0,
+        reweight=getattr(args, "reweight", None) or "auto",
     )
 
 
@@ -321,6 +323,48 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _parse_address(args):
+    """Socket address from the shared ``--socket`` / ``--host``/``--port``
+    client flags (unix path wins when both are given)."""
+    return args.socket if args.socket else (args.host, args.port)
+
+
+def _cmd_reweight(args) -> int:
+    """Hot-swap a *running* server (``repro-spsp serve``) to new edge
+    weights over the ``reweight`` RPC — zero downtime, no rebuild: the
+    server replays the retained E⁺ provenance and flips epochs atomically
+    (single engine and shard fleets alike).  Weights come from a file
+    (``--weights``: ``.npy`` or whitespace-separated text, full edge
+    order) or inline sparse assignments (``--edge ID=WEIGHT``, repeatable).
+    """
+    from .server.client import OracleClient
+
+    if bool(args.weights) == bool(args.edge):
+        print("pass exactly one of --weights FILE or --edge ID=WEIGHT ...",
+              file=sys.stderr)
+        return 2
+    with OracleClient(_parse_address(args), timeout=args.timeout_ms / 1e3) as c:
+        if args.weights:
+            if args.weights.endswith(".npy"):
+                w = np.load(args.weights)
+            else:
+                w = np.loadtxt(args.weights).ravel()
+            res = c.reweight(w)
+        else:
+            delta = {}
+            for spec in args.edge:
+                eid, _, val = spec.partition("=")
+                if not val:
+                    print(f"malformed --edge {spec!r} (want ID=WEIGHT)",
+                          file=sys.stderr)
+                    return 2
+                delta[int(eid)] = float(val)
+            res = c.reweight(delta=delta)
+    print(f"reweighted ({res['mode']}): weights epoch {res['weights_epoch']} "
+          f"in {res['wall_s']:.3f}s")
+    return 0
+
+
 def _cmd_cache(args) -> int:
     """Manage the content-addressed augmentation store (:mod:`repro.cache`):
     ``ls`` lists entries oldest-first, ``stats`` prints the store summary,
@@ -502,6 +546,10 @@ def main(argv: list[str] | None = None) -> int:
                     help="default per-request timeout")
     p8.add_argument("--row-cache", dest="row_cache", type=int, default=1024,
                     help="per-source distance-row LRU capacity (0 disables)")
+    p8.add_argument("--reweight", choices=["auto", "incremental", "rebuild"],
+                    default="auto",
+                    help="strategy for the reweight RPC: replay retained E+ "
+                         "provenance (incremental), full rebuild, or auto")
     p8.add_argument("--shards", type=int, default=0,
                     help="serve a K-shard separator fleet instead of one engine "
                          "(one worker process per shard; 0 = single engine)")
@@ -511,6 +559,23 @@ def main(argv: list[str] | None = None) -> int:
                     help="serving-path logging: -v INFO, -vv DEBUG")
     _add_cache_flags(p8)
     p8.set_defaults(fn=_cmd_serve)
+
+    p10 = sub.add_parser(
+        "reweight", help="hot-swap a running server to new edge weights"
+    )
+    p10.add_argument("--socket", default=None,
+                     help="unix-socket path of the running server")
+    p10.add_argument("--host", default="127.0.0.1")
+    p10.add_argument("--port", type=int, default=7470)
+    p10.add_argument("--weights", default=None,
+                     help="file with the full weight vector in edge order "
+                          "(.npy, or whitespace-separated text)")
+    p10.add_argument("--edge", action="append", default=[], metavar="ID=WEIGHT",
+                     help="sparse absolute assignment (repeatable); the server "
+                          "replays only the touched leaves' root paths")
+    p10.add_argument("--timeout-ms", dest="timeout_ms", type=float, default=120000.0,
+                     help="client timeout for the RPC")
+    p10.set_defaults(fn=_cmd_reweight)
 
     p9 = sub.add_parser("cache", help="manage the augmentation build cache")
     p9.add_argument("action", choices=["ls", "stats", "clear"])

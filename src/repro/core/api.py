@@ -107,6 +107,11 @@ class ShortestPathOracle:
         #: ``dir`` and timings once the store was consulted.  Surfaced by
         #: the server's ``stats`` op as the build-cache hit record.
         self.cache_info: dict = {"mode": self.config.cache, "status": "off"}
+        #: Lazily captured build provenance (:class:`~repro.core.reweight.
+        #: ReweightPlan`) shared along a :meth:`with_new_weights` lineage —
+        #: captured once per skeleton, reused by every incremental
+        #: reweight derived from this oracle.
+        self._reweight_plan = None
 
     # -------------------------------------------------------------- #
 
@@ -406,42 +411,171 @@ class ShortestPathOracle:
         )
 
     def with_new_weights(
-        self, weight: np.ndarray | None = None, *, graph: WeightedDigraph | None = None
+        self,
+        weight: np.ndarray | None = None,
+        *,
+        weight_delta=None,
+        graph: WeightedDigraph | None = None,
+        reweight: str | None = None,
+        validate: bool | str | None = None,
     ) -> "ShortestPathOracle":
-        """Rebuild the oracle for new weights and/or edge directions while
+        """Refresh the oracle for new weights and/or edge directions while
         reusing the separator decomposition — paper comment (iv): "the
         separator decomposition ... depends only on the undirected
         unweighted skeleton of G, and hence needs to be computed only once
         for a group of instances which differ in the weights and direction
         on edges."
 
-        Pass ``weight`` (same edge order) for a reweighting, or ``graph``
-        for any graph sharing the skeleton (e.g. ``self.graph.reverse()``).
+        Pass exactly one of:
+
+        ``weight``
+            Full weight vector in the original edge order (a reweighting).
+        ``weight_delta``
+            A *sparse* reweighting: either a ``{edge_id: new_weight}``
+            mapping or an ``(edge_ids, new_weights)`` pair; untouched
+            edges keep their current weight.  On the incremental path the
+            sweep is further restricted to the root paths of the leaves
+            containing the changed edges.
+        ``graph``
+            Any graph sharing the skeleton (e.g. ``self.graph.reverse()``).
+
+        ``reweight`` (default: ``config.reweight``) picks the refresh
+        strategy.  ``"auto"``/``"incremental"`` replay the captured build
+        provenance leaves-up over the existing E⁺ *structure* — no
+        separator recursion and no schedule rebuild (the §3.2 phase
+        permutations are weight-independent and cloned) — which is an
+        order of magnitude cheaper than a rebuild and bit-identical to
+        one.  The replay path requires a ``leaves_up`` lineage and an
+        unchanged skeleton (same ``src``/``dst`` arrays); ``"incremental"``
+        raises when those do not hold, ``"auto"`` falls back to
+        ``"rebuild"``.  Sparse deltas additionally need the lineage's
+        retained heap state (present on any oracle *produced by* an
+        incremental reweight; a cold-built ancestor serves the first
+        refresh densely).
+
+        ``validate`` (default: ``config.validate``) on the incremental
+        path checks shortcut *weights* only — :meth:`Augmentation.
+        verify_edges` against ground-truth Bellman–Ford — because the
+        structure (decomposition, E⁺ pairs, schedule) is inherited from a
+        build that already vouched for it.  Pass ``validate="full"`` to
+        additionally rerun the structural decomposition check.
         """
-        if (weight is None) == (graph is None):
-            raise ValueError("pass exactly one of weight= or graph=")
-        if graph is None:
+        given = [weight is not None, weight_delta is not None, graph is not None]
+        if sum(given) != 1:
+            raise ValueError("pass exactly one of weight=, weight_delta= or graph=")
+        dirty_edges = None
+        if weight_delta is not None:
+            if isinstance(weight_delta, dict):
+                idx = np.fromiter(weight_delta.keys(), dtype=np.int64, count=len(weight_delta))
+                vals = np.fromiter(
+                    (weight_delta[int(i)] for i in idx),
+                    dtype=self.graph.weight.dtype,
+                    count=idx.shape[0],
+                )
+            else:
+                idx, vals = weight_delta
+                idx = np.asarray(idx, dtype=np.int64)
+                vals = np.asarray(vals, dtype=self.graph.weight.dtype)
+            if idx.size and (idx.min() < 0 or idx.max() >= self.graph.m):
+                raise ValueError("weight_delta edge ids out of range")
+            w = self.graph.weight.copy()
+            w[idx] = vals  # absolute assignment: applying a delta twice is a no-op
+            dirty_edges = idx
+            graph = WeightedDigraph(self.graph.n, self.graph.src, self.graph.dst, w)
+        elif graph is None:
             graph = WeightedDigraph(self.graph.n, self.graph.src, self.graph.dst, weight)
         if graph.n != self.tree.n:
             raise ValueError("new graph must have the same vertex set")
+        mode = self.config.reweight if reweight is None else reweight
+        if mode not in ("auto", "incremental", "rebuild"):
+            raise ValueError(f"reweight must be auto/incremental/rebuild, got {mode!r}")
+        if validate is None:
+            validate = self.config.validate
         method = self.augmentation.method
         if method not in ("leaves_up", "doubling", "doubling_shared"):
             method = "leaves_up"
-        # Rebuild with the *original* build config — in particular its
-        # executor and kernel choices, which earlier versions silently
-        # dropped back to the defaults here — updating only what the new
-        # instance dictates (method/semiring follow the augmentation,
-        # keep_node_distances follows whether matrices were retained).
+        same_skeleton = (
+            graph.m == self.graph.m
+            and np.array_equal(graph.src, self.graph.src)
+            and np.array_equal(graph.dst, self.graph.dst)
+        )
+        incremental_ok = method == "leaves_up" and same_skeleton
+        if mode == "incremental" and not incremental_ok:
+            raise ValueError(
+                "reweight='incremental' needs a leaves_up lineage and an "
+                "unchanged edge skeleton (same src/dst arrays); pass "
+                "reweight='auto' to fall back to a rebuild"
+            )
         cfg = self.config.replace(
             method=method,
             semiring=self.semiring,
             keep_node_distances=bool(self.augmentation.node_distances),
         )
+        if mode != "rebuild" and incremental_ok:
+            return self._reweight_incremental(graph, dirty_edges, cfg, validate)
+        # Rebuild with the *original* build config — in particular its
+        # executor and kernel choices, which earlier versions silently
+        # dropped back to the defaults here — updating only what the new
+        # instance dictates (method/semiring follow the augmentation,
+        # keep_node_distances follows whether matrices were retained).
+        if validate == "full":
+            cfg = cfg.replace(validate=True)
         oracle = ShortestPathOracle.build(graph, self.tree, config=cfg)
         # Reweighting bumps the lineage's weights epoch so any per-source
         # distance-row cache keyed against the old augmentation can tell the
         # two apart (see QueryEngine's row LRU).
         oracle.augmentation.weights_epoch = self.augmentation.weights_epoch + 1
+        return oracle
+
+    def _reweight_incremental(
+        self, graph: WeightedDigraph, dirty_edges, cfg: OracleConfig, validate
+    ) -> "ShortestPathOracle":
+        """The provenance-replay path of :meth:`with_new_weights`."""
+        from .reweight import ReweightPlan
+
+        plan = self._reweight_plan
+        if plan is None:
+            plan = ReweightPlan.capture(self.graph, self.tree)
+        # Phase permutations are structure-only; record them once against
+        # this lineage's E⁺ so every subsequent reweight clones instead of
+        # rebuilding the schedule.
+        plan.ensure_schedule_cache(self.augmentation)
+        self._reweight_plan = plan
+        base_state = getattr(self.augmentation, "_reweight_state", None)
+        if base_state is None:
+            dirty_edges = None  # no retained heap: first refresh runs densely
+        aug = plan.run(
+            graph,
+            self.semiring,
+            base_state=base_state,
+            dirty_edges=dirty_edges,
+            keep_node_distances=cfg.keep_node_distances,
+        )
+        aug.weights_epoch = self.augmentation.weights_epoch + 1
+        if validate:
+            if validate == "full":
+                self.tree.validate(graph)
+            if self.semiring.name in ("min-plus", "hops"):
+                # The baseline re-derivation (Bellman–Ford) may associate
+                # float sums differently than the replayed kernels, so a
+                # few ulps of deviation are healthy; the repo-wide 1e-9
+                # threshold separates that from real corruption.
+                dev = aug.verify_edges()
+                if dev > 1e-9:
+                    raise AssertionError(
+                        f"reweighted shortcut weights deviate from ground "
+                        f"truth by {dev!r}"
+                    )
+        oracle = ShortestPathOracle(
+            graph,
+            self.tree,
+            aug,
+            aug.schedule(),
+            preprocess_ledger=Ledger(),
+            config=cfg,
+        )
+        oracle.cache_info = {"mode": cfg.cache, "status": "reweight"}
+        oracle._reweight_plan = plan
         return oracle
 
     def path(self, u: int, v: int) -> list[int] | None:

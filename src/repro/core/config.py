@@ -66,6 +66,7 @@ _ENGINES = ("scheduled", "naive")
 _KERNELS = (None, "auto", "reference", "blocked", "pruned")
 _CACHE_MODES = ("off", "read", "readwrite")
 _SHARD_BACKENDS = ("inline", "process")
+_REWEIGHT_MODES = ("auto", "incremental", "rebuild")
 
 
 @dataclass(frozen=True)
@@ -129,6 +130,13 @@ class OracleConfig:
         Pin each shard worker process to one CPU via
         ``os.sched_setaffinity`` (process backend only), so a shard's
         pages stay on the NUMA node of the CPU that computes them.
+    reweight:
+        How :meth:`ShortestPathOracle.with_new_weights` refreshes E⁺:
+        ``"auto"`` replays captured build provenance leaves-up when the
+        skeleton and method allow it and falls back to a full rebuild
+        otherwise; ``"incremental"`` requires the replay path (raises if
+        ineligible); ``"rebuild"`` always reruns the §4 construction.
+        All modes produce bit-identical augmentations.
     """
 
     method: str = "leaves_up"
@@ -147,6 +155,7 @@ class OracleConfig:
     shards: int = 0
     shard_backend: str = "process"
     shard_pin: bool = False
+    reweight: str = "auto"
 
     def __post_init__(self) -> None:
         if self.method not in _METHODS:
@@ -169,6 +178,10 @@ class OracleConfig:
             raise ValueError(
                 f"shard_backend must be one of {_SHARD_BACKENDS}, "
                 f"got {self.shard_backend!r}"
+            )
+        if self.reweight not in _REWEIGHT_MODES:
+            raise ValueError(
+                f"reweight must be one of {_REWEIGHT_MODES}, got {self.reweight!r}"
             )
 
     # -------------------------------------------------------------- #

@@ -183,31 +183,19 @@ class QueryEngine:
         self._owns_exe = isinstance(executor, str) and not isinstance(self._exe, SerialExecutor)
         self._use_shm = getattr(self._exe, "uses_shared_memory", False)
         self._closed = False
-        # Build-once structures (cached on the augmentation itself).
-        if engine == "scheduled":
-            self.schedule = aug.schedule()
-            relaxers = self.schedule.relaxers
-        else:
-            self.schedule = None
-            relaxers = [aug.relaxer()]
-        self._relaxers = relaxers
-        # Publish-once compiled arrays for cross-process backends.
-        self._token = f"qe{os.getpid()}_{next(_TOKENS)}"
-        self._arena = None
+        # Build-once structures (cached on the augmentation itself), plus
+        # the publish-once compiled arrays for cross-process backends — one
+        # *generation* of serving state; reweight() compiles the next
+        # generation and flips.
         self._dist_ref = None
         self._dist_view = None
-        self._spec: dict[str, Any] | None = None
-        if self._use_shm:
-            from ..pram.shm import ShmArena
-
-            self._arena = ShmArena()
-            self._spec = self._make_spec(
-                self._dedup_phases(lambda r: {
-                    k: self._arena.publish(v) for k, v in r.compiled().items()
-                })
-            )
-        elif not isinstance(self._exe, (SerialExecutor, ThreadExecutor)):
-            self._spec = self._make_spec(self._dedup_phases(lambda r: r.compiled()))
+        (
+            self.schedule,
+            self._relaxers,
+            self._arena,
+            self._spec,
+            self._token,
+        ) = self._compile_generation(aug)
         # Telemetry.  The lock makes submissions (and the counters) safe to
         # drive from multiple threads — the asyncio server submits batches
         # from an event-loop executor thread while ``stats`` requests read
@@ -226,8 +214,45 @@ class QueryEngine:
         self._row_epoch = int(getattr(aug, "weights_epoch", 0))
         self.row_hits = 0
         self.row_misses = 0
+        # Epoch telemetry (see reweight() / _check_epoch()).
+        self.reweights = 0
+        self.row_epoch_invalidations = 0
+        self.rows_epoch_dropped = 0
 
-    def _dedup_phases(self, compile_one) -> list[dict[str, Any]]:
+    def _compile_generation(self, aug: Augmentation):
+        """Build one generation of serving state for ``aug``: relaxers (and
+        schedule), plus — for cross-process backends — a fresh engine token
+        and the published compiled arrays.  On shm the arena's segments are
+        tagged ``g<weights_epoch>`` so ``/dev/shm`` listings (and the leak
+        checker) attribute every segment to its generation."""
+        if self.engine == "scheduled":
+            schedule = aug.schedule()
+            relaxers = schedule.relaxers
+        else:
+            schedule = None
+            relaxers = [aug.relaxer()]
+        token = f"qe{os.getpid()}_{next(_TOKENS)}"
+        arena = None
+        spec: dict[str, Any] | None = None
+        if self._use_shm:
+            from ..pram.shm import ShmArena
+
+            arena = ShmArena(tag=f"g{int(getattr(aug, 'weights_epoch', 0))}")
+            spec = self._make_spec(
+                aug,
+                token,
+                self._dedup_phases(relaxers, lambda r: {
+                    k: arena.publish(v) for k, v in r.compiled().items()
+                }),
+            )
+        elif not isinstance(self._exe, (SerialExecutor, ThreadExecutor)):
+            spec = self._make_spec(
+                aug, token, self._dedup_phases(relaxers, lambda r: r.compiled())
+            )
+        return schedule, relaxers, arena, spec, token
+
+    @staticmethod
+    def _dedup_phases(relaxers, compile_one) -> list[dict[str, Any]]:
         """Compile (and, on shm, publish) each *distinct* relaxer object
         once; repeated phases share the resulting dict.  The sharing is what
         lets workers frontier-prune the repeated prefix/suffix phases, and
@@ -235,7 +260,7 @@ class QueryEngine:
         times."""
         compiled: dict[int, dict[str, Any]] = {}
         phases = []
-        for r in self._relaxers:
+        for r in relaxers:
             d = compiled.get(id(r))
             if d is None:
                 d = compile_one(r)
@@ -243,15 +268,57 @@ class QueryEngine:
             phases.append(d)
         return phases
 
-    def _make_spec(self, phases: list[dict[str, Any]]) -> dict[str, Any]:
+    def _make_spec(
+        self, aug: Augmentation, token: str, phases: list[dict[str, Any]]
+    ) -> dict[str, Any]:
         return {
-            "token": self._token,
-            "semiring": self.aug.semiring.name,
+            "token": token,
+            "semiring": aug.semiring.name,
             "mode": self.engine,
-            "cap": self.aug.diameter_bound,
+            "cap": aug.diameter_bound,
             "source_block": self.source_block,
             "phases": phases,
         }
+
+    def reweight(self, aug: Augmentation) -> None:
+        """Hot-swap to a reweighted augmentation with zero downtime.
+
+        The next generation (relaxers, schedule, and — on cross-process
+        backends — a freshly published arena under a new engine token) is
+        compiled *outside* the engine lock, so concurrent :meth:`submit`
+        batches keep serving the old epoch while it builds.  The flip
+        itself is a pointer swap under the lock: any in-flight batch
+        finishes on the old epoch, every later submit runs on the new one,
+        and no batch ever mixes the two.  The old arena generation is
+        unlinked after the flip (its ``g<epoch>`` segments disappear from
+        ``/dev/shm``); the row LRU is dropped wholesale via the usual
+        epoch check.
+        """
+        if aug.graph.n != self.aug.graph.n:
+            raise ValueError("reweight() needs an augmentation over the same vertex set")
+        if aug.semiring.name != self.aug.semiring.name:
+            raise ValueError("reweight() cannot change the semiring")
+        schedule, relaxers, arena, spec, token = self._compile_generation(aug)
+        with self._lock:
+            if self._closed:
+                if arena is not None:
+                    arena.close()
+                raise ValueError("engine is closed")
+            old_arena = self._arena
+            self.aug = aug
+            self.schedule = schedule
+            self._relaxers = relaxers
+            self._arena = arena
+            self._spec = spec
+            self._token = token
+            # The reusable distance block lived in the old generation's
+            # arena; the next batch re-allocates it in the new one.
+            self._dist_ref = None
+            self._dist_view = None
+            self.reweights += 1
+            self._check_epoch()
+        if old_arena is not None:
+            old_arena.close()
 
     # -------------------------------------------------------------- #
 
@@ -321,6 +388,8 @@ class QueryEngine:
         mutation).  Caller holds the engine lock."""
         epoch = int(getattr(self.aug, "weights_epoch", 0))
         if epoch != self._row_epoch:
+            self.row_epoch_invalidations += 1
+            self.rows_epoch_dropped += len(self._row_cache)
             self._row_cache.clear()
             self._row_epoch = epoch
 
@@ -421,6 +490,8 @@ class QueryEngine:
                 "phases": len(self._relaxers),
                 "shared_bytes": self._arena.allocated_bytes if self._arena else 0,
                 "last_batch": None if self.last_batch is None else dict(self.last_batch),
+                "weights_epoch": int(getattr(self.aug, "weights_epoch", 0)),
+                "reweights": self.reweights,
                 "row_cache": {
                     "capacity": self.row_cache_capacity,
                     "size": len(self._row_cache),
@@ -428,6 +499,8 @@ class QueryEngine:
                     "misses": self.row_misses,
                     "hit_rate": (self.row_hits / looked_up) if looked_up else 0.0,
                     "epoch": self._row_epoch,
+                    "epoch_invalidations": self.row_epoch_invalidations,
+                    "rows_epoch_dropped": self.rows_epoch_dropped,
                 },
             }
 

@@ -29,8 +29,10 @@ __all__ = ["OracleClient"]
 class OracleClient:
     """Blocking connection to an :class:`~repro.server.OracleServer`.
 
-    Every request op is read-only (and therefore idempotent), so the
-    client transparently retries a call once when the connection drops
+    Every request op is idempotent — the row ops are read-only, and
+    ``reweight`` *assigns* absolute weights (it never increments), so
+    replaying it lands on the same weights — which is what lets the
+    client transparently retry a call once when the connection drops
     mid-flight (``ConnectionResetError`` / a server that closed the
     socket) or the server answers 503 while draining — a short backoff,
     a reconnect when the socket died, and one resend.  Anything else
@@ -169,6 +171,29 @@ class OracleClient:
         """Server + engine telemetry snapshot (see
         :class:`~repro.server.metrics.ServerMetrics`)."""
         return self._call("stats")
+
+    def reweight(self, weight=None, *, delta=None) -> dict[str, Any]:
+        """Hot-swap the server to new edge weights; returns
+        ``{"weights_epoch", "mode", "wall_s"}``.
+
+        Pass either ``weight`` (the full edge-order weight vector) or
+        ``delta`` (a ``{edge_id: new_weight}`` mapping, or an
+        ``(edge_ids, new_weights)`` pair) — absolute assignment, so the
+        class's one-shot retry is safe for this op too.  Every row op
+        answered after this returns observes the new weights.
+        """
+        if (weight is None) == (delta is None):
+            raise ValueError("pass exactly one of weight or delta")
+        if weight is not None:
+            return self._call("reweight", weight=[float(w) for w in np.asarray(weight)])
+        if isinstance(delta, dict):
+            edges = [int(e) for e in delta]
+            values = [float(delta[e]) for e in delta]
+        else:
+            idx, vals = delta
+            edges = [int(e) for e in np.asarray(idx)]
+            values = [float(v) for v in np.asarray(vals)]
+        return self._call("reweight", delta={"edges": edges, "weights": values})
 
     # ------------------------------------------------------------ #
 

@@ -12,6 +12,17 @@ Request shape::
     {"id": <any>, "op": "path", "source": 0, "target": 35}
     {"id": <any>, "op": "stats"}
     {"id": <any>, "op": "ping"}
+    {"id": <any>, "op": "reweight", "weight": [w_0, ..., w_{m-1}]}
+    {"id": <any>, "op": "reweight", "delta": {"edges": [3, 17],
+                                              "weights": [2.5, 9.0]}}
+
+``reweight`` hot-swaps the serving stack to new edge weights without
+dropping queries: exactly one of ``weight`` (the full edge-order vector)
+or ``delta`` (absolute new weights for the named edge ids — *assignment*,
+not increment, so retrying the same request is idempotent).  The result is
+``{"weights_epoch": <int>, "mode": "engine"|"fleet", "wall_s": <float>}``;
+every row op answered after the response observes the new weights, and no
+response ever mixes two epochs.
 
 Response shape::
 

@@ -19,6 +19,14 @@ Operational behavior:
 * **timeouts** — each request waits at most ``request_timeout_ms`` (or its
   own ``timeout_ms`` field) for its batch; a late batch still completes,
   the response is a 504;
+* **zero-downtime reweight** — the ``reweight`` op hot-swaps the serving
+  stack to new edge weights (full vector or sparse delta) without dropping
+  queries: weights replay through the retained E⁺ provenance
+  (:meth:`~repro.core.api.ShortestPathOracle.with_new_weights`), in-flight
+  batches finish on the old weights epoch, and every later batch is
+  answered entirely at the new one — the single engine flips its arena
+  generation, a shard fleet flips worker-by-worker behind the router's
+  per-leg epoch guard;
 * **graceful shutdown** — :meth:`stop` first stops accepting connections,
   then lets the batcher *drain* every admitted request, and only then
   closes the engine (which unlinks the shm arena) and the remaining
@@ -36,6 +44,8 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import logging
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -156,6 +166,13 @@ class OracleServer:
         self.server_config = server if server is not None else ServerConfig()
         self.metrics = ServerMetrics()
         self.engine = None
+        # The graph whose weights are *currently served* — tracks every
+        # accepted ``reweight`` (``self.oracle.graph`` would go stale on
+        # the fleet path, where the router reweights but the build oracle
+        # is not re-derived).  Source validation and path reconstruction
+        # must read this one.
+        self._graph = oracle.graph
+        self._reweight_lock = threading.Lock()
         self._server: asyncio.AbstractServer | None = None
         self._queue: asyncio.Queue | None = None
         self._batcher: asyncio.Task | None = None
@@ -334,6 +351,8 @@ class OracleServer:
                 resp = ok_response(req_id, {"pong": True})
             elif op == "stats":
                 resp = ok_response(req_id, await self._stats_result())
+            elif op == "reweight":
+                resp = ok_response(req_id, await self._reweight_op(req))
             elif op in ROW_OPS:
                 resp = await self._row_op(req_id, op, req, t0)
             else:
@@ -351,8 +370,106 @@ class OracleServer:
             resp = error_response(req_id, INTERNAL, f"{type(exc).__name__}: {exc}")
         await self._write(writer, wlock, resp)
 
+    def _parse_reweight(self, req: dict):
+        """Validate a ``reweight`` request into ``(weight, edges, values)``
+        — exactly one of the full vector or the sparse delta."""
+        g = self._graph
+        raw_w = req.get("weight")
+        raw_d = req.get("delta")
+        if (raw_w is None) == (raw_d is None):
+            raise ServerError(
+                BAD_REQUEST, "reweight needs exactly one of 'weight' or 'delta'"
+            )
+        try:
+            if raw_w is not None:
+                w = np.asarray(raw_w, dtype=g.weight.dtype)
+                if w.shape != (g.m,):
+                    raise ServerError(
+                        BAD_REQUEST,
+                        f"'weight' must list all {g.m} edge weights, got {w.shape}",
+                    )
+                return w, None, None
+            edges = np.asarray(raw_d.get("edges"), dtype=np.int64)
+            values = np.asarray(raw_d.get("weights"), dtype=g.weight.dtype)
+        except ServerError:
+            raise
+        except Exception as exc:
+            raise ServerError(BAD_REQUEST, f"malformed reweight payload: {exc}") from exc
+        if edges.ndim != 1 or edges.shape != values.shape:
+            raise ServerError(
+                BAD_REQUEST, "'delta' needs equal-length 'edges' and 'weights' lists"
+            )
+        if edges.size and ((edges < 0).any() or (edges >= g.m).any()):
+            raise ServerError(BAD_REQUEST, f"edge id out of range [0, {g.m})")
+        return None, edges, values
+
+    async def _reweight_op(self, req: dict) -> dict:
+        """The ``reweight`` RPC: hot-swap the serving stack to new edge
+        weights without dropping queries.
+
+        Parsing happens on the loop; the replay + flip runs on the
+        executor (it is CPU work).  In-flight coalesced batches finish on
+        the old epoch — both the engine and the router flip under their
+        own serving lock — and every batch submitted after the flip is
+        answered entirely at the new one.  A sparse ``delta`` assigns
+        absolute weights (idempotent, so a client retry after a dropped
+        connection is safe).
+        """
+        if self._draining:
+            raise ServerError(UNAVAILABLE, "server is shutting down")
+        weight, edges, values = self._parse_reweight(req)
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, self._reweight_sync, weight, edges, values
+        )
+
+    def _reweight_sync(self, weight, edges, values) -> dict:
+        """Executor-side reweight: serialized so two concurrent RPCs
+        cannot interleave the oracle/engine swap."""
+        from ..core.query import QueryEngine
+
+        with self._reweight_lock:
+            t0 = time.perf_counter()
+            if isinstance(self.engine, QueryEngine):
+                if weight is not None:
+                    new_oracle = self.oracle.with_new_weights(weight)
+                else:
+                    new_oracle = self.oracle.with_new_weights(
+                        weight_delta=(edges, values)
+                    )
+                self.engine.reweight(new_oracle.augmentation)
+                old, self.oracle = self.oracle, new_oracle
+                old.close()
+                self._graph = new_oracle.graph
+                epoch = int(getattr(new_oracle.augmentation, "weights_epoch", 0))
+                mode = "engine"
+            elif hasattr(self.engine, "reweight"):
+                # Fleet path: the router wants the full vector (it slices
+                # per-shard local weights out of it); a delta additionally
+                # names the dirty ids so shards replay sparsely.
+                if weight is None:
+                    weight = self._graph.weight.copy()
+                    weight[edges] = values
+                    res = self.engine.reweight(weight, dirty=edges)
+                else:
+                    res = self.engine.reweight(weight)
+                self._graph = self.engine.graph
+                epoch = int(res["weights_epoch"])
+                mode = "fleet"
+            else:
+                raise ServerError(
+                    BAD_REQUEST,
+                    f"engine {type(self.engine).__name__} does not support reweight",
+                )
+            wall = time.perf_counter() - t0
+            _log.info(
+                "server: reweighted (%s) to weights epoch %d in %.3fs",
+                mode, epoch, wall,
+            )
+            return {"weights_epoch": epoch, "mode": mode, "wall_s": wall}
+
     def _parse_sources(self, op: str, req: dict) -> np.ndarray:
-        n = self.oracle.graph.n
+        n = self._graph.n
         if op == "path":
             raw = [req.get("source")]
         else:
@@ -412,7 +529,7 @@ class OracleServer:
         if not isinstance(target, (int,)) or not 0 <= target < rows.shape[1]:
             raise ServerError(BAD_REQUEST, "'target' must be a vertex id")
         source = int(srcs[0])
-        parent = shortest_path_tree(self.oracle.graph, source, rows[0])
+        parent = shortest_path_tree(self._graph, source, rows[0])
         path = reconstruct_path(parent, source, int(target))
         return {
             "source": source,
@@ -430,7 +547,7 @@ class OracleServer:
         return {
             "server": self.metrics.snapshot(),
             "engine": engine_stats,
-            "graph": {"n": int(self.oracle.graph.n), "m": int(self.oracle.graph.m)},
+            "graph": {"n": int(self._graph.n), "m": int(self._graph.m)},
             "cache": {
                 "build": dict(self.oracle.cache_info),
                 "row_hit_rate": self.metrics.row_cache_hit_rate,

@@ -86,6 +86,7 @@ class ShardEngine:
         self.queries = 0
         self.rows = 0
         self.wall_s = 0.0
+        self.reweights = 0
         _log.debug(
             "shard %d: engine up (n=%d, m=%d, |E+|=%d, build %.3fs, cache %s)",
             self.shard_id, graph.n, graph.m, self.oracle.augmentation.size,
@@ -96,6 +97,53 @@ class ShardEngine:
     def n(self) -> int:
         """Local vertex count of the shard."""
         return int(self.oracle.graph.n)
+
+    @property
+    def weights_epoch(self) -> int:
+        """The weights epoch this shard currently serves (fleet-wide
+        reweights keep every shard on one agreed epoch; the router checks
+        it on every leg)."""
+        return int(getattr(self.oracle.augmentation, "weights_epoch", 0))
+
+    def set_epoch(self, epoch: int) -> None:
+        """Stamp the serving epoch without changing weights — used when a
+        respawned worker rebuilds from already-reweighted payload weights
+        (its fresh build would otherwise report epoch 0)."""
+        self.oracle.augmentation.weights_epoch = int(epoch)
+
+    def reweight(
+        self, weight: np.ndarray, epoch: int, dirty_local=None
+    ) -> dict[str, Any]:
+        """Hot-swap this shard to new local edge weights at ``epoch``.
+
+        ``weight`` is the full local weight vector (shard edge order);
+        ``dirty_local`` optionally narrows it to the shard-local ids of
+        the edges that actually changed, enabling the sparse
+        provenance-replay path once the shard's lineage holds a retained
+        heap.  The serving engine flips atomically (in-flight rows finish
+        on the old epoch), then the old oracle's arenas are released.
+        """
+        t0 = time.perf_counter()
+        weight = np.asarray(weight, dtype=self.oracle.graph.weight.dtype)
+        if dirty_local is not None:
+            dirty_local = np.asarray(dirty_local, dtype=np.int64)
+            new_oracle = self.oracle.with_new_weights(
+                weight_delta=(dirty_local, weight[dirty_local])
+            )
+        else:
+            new_oracle = self.oracle.with_new_weights(weight)
+        new_oracle.augmentation.weights_epoch = int(epoch)
+        self.engine.reweight(new_oracle.augmentation)
+        old, self.oracle = self.oracle, new_oracle
+        old.close()
+        self.reweights += 1
+        wall = time.perf_counter() - t0
+        _log.debug(
+            "shard %d: reweighted to epoch %d in %.3fs (%s)",
+            self.shard_id, int(epoch), wall,
+            "sparse" if dirty_local is not None else "dense",
+        )
+        return {"epoch": self.weights_epoch, "wall_s": wall}
 
     def boundary_matrix(self) -> np.ndarray:
         """Exact in-shard distances from every boundary vertex:
@@ -128,6 +176,8 @@ class ShardEngine:
             "wall_s": self.wall_s,
             "build_s": self.build_s,
             "cache_status": self.cache_status,
+            "weights_epoch": self.weights_epoch,
+            "reweights": self.reweights,
         }
 
     def close(self) -> None:

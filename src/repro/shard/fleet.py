@@ -154,23 +154,53 @@ class ShardFleet:
     # ------------------------------------------------------------------ #
     # fleet operations
 
-    def boundary_matrices(self) -> list[np.ndarray]:
+    def _check_epoch(self, sid: int, payload: dict, expected: int | None) -> dict:
+        """Per-leg epoch guard: a worker answering from a different weights
+        epoch than the router expects gets one restart (the respawn payload
+        carries the agreed weights + epoch) and one resend; a second
+        disagreement is an error, never a silently mixed batch."""
+        if expected is None or int(payload.get("epoch", expected)) == int(expected):
+            return payload
+        _log.warning(
+            "shard %d: answered from weights epoch %s, expected %d; restarting",
+            sid, payload.get("epoch"), expected,
+        )
+        self.restart(sid)
+        return payload  # caller resends; the retry is per-op
+
+    def boundary_matrices(self, expected_epoch: int | None = None) -> list[np.ndarray]:
         """Every shard's boundary-row matrix ``(|B(t)|, n_t)``, id order
-        (computed in the workers, copied out of their arenas)."""
+        (computed in the workers, copied out of their arenas).
+        ``expected_epoch`` enables the per-leg epoch guard."""
         out = []
         for h in self.handles:
             payload = self._call_with_retry(h.shard_id, "boundary")
+            if expected_epoch is not None and (
+                int(payload.get("epoch", expected_epoch)) != int(expected_epoch)
+            ):
+                self._check_epoch(h.shard_id, payload, expected_epoch)
+                payload = self.handles[h.shard_id].call("boundary")
+                if int(payload.get("epoch", -1)) != int(expected_epoch):
+                    raise RuntimeError(
+                        f"shard {h.shard_id} still at weights epoch "
+                        f"{payload.get('epoch')} != {expected_epoch} after restart"
+                    )
             out.append(h.fetch_rows(payload))
         return out
 
     def query_rows_many(
-        self, requests: list[tuple[int, np.ndarray]]
+        self,
+        requests: list[tuple[int, np.ndarray]],
+        expected_epoch: int | None = None,
     ) -> dict[int, np.ndarray]:
         """Leg-1 fan-out: local distance rows per ``(shard_id, local
         sources)`` request.
 
         All requests are sent before any response is collected, so shards
         relax concurrently; a worker that died takes one restart + resend.
+        With ``expected_epoch``, a row block computed at any other weights
+        epoch is rejected — restarted and re-asked once, then a hard error
+        — so one batch never mixes distances from two epochs.
         """
         sent: dict[int, np.ndarray] = {}
         for sid, local in requests:
@@ -191,7 +221,71 @@ class ShardFleet:
                 _log.warning("shard %d: %s", sid, exc)
                 self.restart(sid)
                 payload = self.handles[sid].call("query", local)
+            if expected_epoch is not None and (
+                int(payload.get("epoch", expected_epoch)) != int(expected_epoch)
+            ):
+                self._check_epoch(sid, payload, expected_epoch)
+                payload = self.handles[sid].call("query", local)
+                if int(payload.get("epoch", -1)) != int(expected_epoch):
+                    raise RuntimeError(
+                        f"shard {sid} still at weights epoch "
+                        f"{payload.get('epoch')} != {expected_epoch} after restart"
+                    )
             out[sid] = h.fetch_rows(payload)
+        return out
+
+    def reweight(
+        self,
+        shard_weights: list[np.ndarray],
+        epoch: int,
+        dirty: list[np.ndarray | None] | None = None,
+    ) -> list[dict[str, Any]]:
+        """Broadcast a reweight to every worker: shard ``i`` hot-swaps to
+        ``shard_weights[i]`` (its local edge order) at the fleet-agreed
+        ``epoch``; ``dirty[i]`` optionally names the shard-local edge ids
+        that changed (sparse replay in the worker).
+
+        Respawn payloads are updated *before* any request goes out, so a
+        worker that crashes at any point during the broadcast is rebuilt
+        already at the new weights and epoch — the retry (or the next
+        query) cannot resurrect the old ones.  All requests are sent
+        before any response is collected, so shards reweight concurrently;
+        the fleet's flip time is the slowest shard, not the sum.
+        """
+        epoch = int(epoch)
+        for h, w in zip(self.handles, shard_weights):
+            h.set_weights(np.asarray(w), epoch)
+        args = [
+            {"weight": np.asarray(w),
+             "epoch": epoch,
+             "dirty": None if dirty is None else dirty[i]}
+            for i, w in enumerate(shard_weights)
+        ]
+        sent: list[int] = []
+        for h, arg in zip(self.handles, args):
+            try:
+                h.send_request("reweight", arg)
+                sent.append(h.shard_id)
+            except WorkerCrash as exc:
+                _log.warning("shard %d: %s", h.shard_id, exc)
+                self.restart(h.shard_id)  # respawn already serves the epoch
+        out: list[dict[str, Any]] = [
+            {"epoch": epoch, "respawned": True} for _ in self.handles
+        ]
+        for sid in sent:
+            h = self.handles[sid]
+            try:
+                out[sid] = h.recv_response()
+            except WorkerCrash as exc:
+                _log.warning("shard %d: %s", sid, exc)
+                self.restart(sid)
+                out[sid] = {"epoch": epoch, "respawned": True}
+        bad = [i for i, o in enumerate(out) if int(o.get("epoch", -1)) != epoch]
+        if bad:
+            raise RuntimeError(
+                f"shards {bad} did not reach weights epoch {epoch}: "
+                f"{[out[i] for i in bad]}"
+            )
         return out
 
     def health_check(self) -> dict[str, Any]:

@@ -93,6 +93,9 @@ class ShardRouter:
         self._closed = False
         self.queries_served = 0
         self.rows_served = 0
+        self.weights_epoch = 0
+        self.reweights = 0
+        self._shard_edge_ids: list[np.ndarray] | None = None
         self.last_batch: dict[str, Any] | None = None
         t0 = time.perf_counter()
         _log.info(
@@ -134,14 +137,104 @@ class ShardRouter:
     def _leg1(self, groups: list[tuple[int, np.ndarray, np.ndarray]]):
         """Home-shard distance rows per source group: ``{shard_id: (s_i,
         n_i)}`` (fanned out to worker processes, or run on the inline
-        engines)."""
+        engines).  Every reply is pinned to the router's current weights
+        epoch, so a batch never mixes legs from two epochs — a worker that
+        answers from the wrong epoch is restarted (landing on the agreed
+        weights) and re-asked once, then it is an error."""
         if self._fleet is not None:
             return self._fleet.query_rows_many(
-                [(sid, local) for sid, _, local in groups]
+                [(sid, local) for sid, _, local in groups],
+                expected_epoch=self.weights_epoch,
             )
-        return {
-            sid: self._engines[sid].query_rows(local) for sid, _, local in groups
-        }
+        out = {}
+        for sid, _, local in groups:
+            eng = self._engines[sid]
+            if eng.weights_epoch != self.weights_epoch:
+                raise RuntimeError(
+                    f"shard {sid} at weights epoch {eng.weights_epoch}, "
+                    f"router at {self.weights_epoch}"
+                )
+            out[sid] = eng.query_rows(local)
+        return out
+
+    def _shard_edge_id_table(self) -> list[np.ndarray]:
+        """Per-shard sorted global edge ids kept by the shard's induced
+        subgraph, in the shard's local edge order.  Depends only on the
+        unweighted skeleton, so it is computed once and reused by every
+        reweight (both for slicing local weight vectors out of the full
+        one and for mapping global dirty ids to shard-local ids)."""
+        if self._shard_edge_ids is None:
+            self._shard_edge_ids = [
+                np.nonzero(self.graph.edge_membership(shard.vertices))[0]
+                for shard in self.plan.shards
+            ]
+        return self._shard_edge_ids
+
+    def reweight(self, weight: np.ndarray, *, dirty=None) -> dict[str, Any]:
+        """Hot-swap the whole fleet to a new full-graph weight vector.
+
+        The separator skeleton — shard plan, spine topology, every shard's
+        E⁺ structure — is weight-invariant, so only weights move: each
+        shard replays its retained provenance
+        (:meth:`~repro.core.api.ShortestPathOracle.with_new_weights`),
+        boundary-row matrices are re-fetched, and the spine's clique edges
+        are re-weighted from them.  ``dirty`` optionally names the global
+        edge ids that changed; they are mapped to shard-local ids so each
+        shard can take the sparse replay path.
+
+        Runs under the router lock: in-flight batches finish on the old
+        epoch before the flip, and every submit after the flip is answered
+        entirely at the new one (the per-leg epoch guard enforces this
+        even across worker crashes and respawns).
+        """
+        with self._lock:
+            if self._closed:
+                raise ValueError("router is closed")
+            t0 = time.perf_counter()
+            weight = np.asarray(weight, dtype=self.graph.weight.dtype)
+            if weight.shape != (self.graph.m,):
+                raise ValueError(
+                    f"weight must have shape ({self.graph.m},), got {weight.shape}"
+                )
+            epoch = self.weights_epoch + 1
+            edge_ids = self._shard_edge_id_table()
+            shard_weights = [weight[ids] for ids in edge_ids]
+            dirty_local: list[np.ndarray | None] | None = None
+            if dirty is not None:
+                dirty = np.unique(np.asarray(dirty, dtype=np.int64))
+                dirty_local = []
+                for ids in edge_ids:
+                    pos = np.searchsorted(ids, dirty)
+                    hit = pos < ids.shape[0]
+                    hit[hit] = ids[pos[hit]] == dirty[hit]
+                    dirty_local.append(pos[hit])
+            if self._fleet is not None:
+                self._fleet.reweight(shard_weights, epoch, dirty=dirty_local)
+                boundary_rows = self._fleet.boundary_matrices(expected_epoch=epoch)
+            else:
+                for i, e in enumerate(self._engines):
+                    e.reweight(
+                        shard_weights[i], epoch,
+                        dirty_local[i] if dirty_local is not None else None,
+                    )
+                boundary_rows = [e.boundary_matrix() for e in self._engines]
+            self.spine = SpineSolver(self.plan, boundary_rows, self.semiring)
+            self._interior_rows = [
+                np.ascontiguousarray(rows[:, shard.interior_local])
+                for shard, rows in zip(self.plan.shards, boundary_rows)
+            ]
+            self.graph = type(self.graph)(
+                self.graph.n, self.graph.src, self.graph.dst, weight
+            )
+            self.weights_epoch = epoch
+            self.reweights += 1
+            wall = time.perf_counter() - t0
+            _log.info(
+                "shard router: reweighted fleet to epoch %d in %.3fs (%s)",
+                epoch, wall,
+                "sparse" if dirty is not None else "dense",
+            )
+            return {"weights_epoch": epoch, "wall_s": wall}
 
     def submit(self, sources) -> tuple[np.ndarray, dict[str, Any]]:
         """Batch submission: ``(distances, info)`` exactly like
@@ -216,6 +309,8 @@ class ShardRouter:
                 "workers": self.plan.k,
                 "queries_served": self.queries_served,
                 "rows_served": self.rows_served,
+                "weights_epoch": self.weights_epoch,
+                "reweights": self.reweights,
                 "build_s": self.build_s,
                 "plan": self.plan.stats(),
                 "spine": self.spine.stats(),

@@ -17,7 +17,11 @@ op        arg                             ok payload
 ======== =============================== ================================
 ping      —                               ``{"pid": …}``
 boundary  —                               ``{"ref", "rows"}`` (arena ref)
-query     local source ids (ndarray)      ``{"ref", "rows", "wall_s"}``
+query     local source ids (ndarray)      ``{"ref", "rows", "wall_s",
+                                          "epoch"}``
+reweight  ``{"weight", "epoch",           ``{"epoch", "wall_s"}`` (engine
+          "dirty"}``                      hot-swapped; see ShardEngine.
+                                          reweight)
 stats     —                               engine counters
 close     —                               ``None`` (worker then exits)
 crash     —                               *no reply*: ``os._exit(1)``
@@ -78,6 +82,7 @@ def _worker_main(
     tree,
     boundary_local: np.ndarray,
     config_dict: dict[str, Any],
+    epoch: int,
     pin_cpu: int | None,
     tag: str,
     log_level: int,
@@ -99,7 +104,12 @@ def _worker_main(
         engine = ShardEngine(
             shard_id, graph, tree, boundary_local, OracleConfig.from_dict(config_dict)
         )
+        # A respawn after a fleet reweight rebuilds from already-updated
+        # payload weights: stamp the agreed epoch so the router's per-leg
+        # epoch guard accepts the fresh worker.
+        engine.set_epoch(epoch)
         conn.send(("ready", {
+            "epoch": engine.weights_epoch,
             "pid": os.getpid(),
             "build_s": engine.build_s,
             "cache_status": engine.cache_status,
@@ -124,7 +134,11 @@ def _worker_main(
             elif op == "boundary":
                 mat = engine.boundary_matrix()
                 ref = arena.publish(mat)
-                conn.send(("ok", {"ref": ref, "rows": int(mat.shape[0])}))
+                conn.send(("ok", {
+                    "ref": ref,
+                    "rows": int(mat.shape[0]),
+                    "epoch": engine.weights_epoch,
+                }))
             elif op == "query":
                 t0 = time.perf_counter()
                 rows = engine.query_rows(arg)
@@ -141,7 +155,12 @@ def _worker_main(
                     "ref": block_ref,
                     "rows": int(rows.shape[0]),
                     "wall_s": time.perf_counter() - t0,
+                    "epoch": engine.weights_epoch,
                 }))
+            elif op == "reweight":
+                conn.send(("ok", engine.reweight(
+                    arg["weight"], int(arg["epoch"]), arg.get("dirty")
+                )))
             elif op == "stats":
                 conn.send(("ok", engine.stats()))
             elif op == "close":
@@ -182,6 +201,7 @@ class WorkerHandle:
         self.tag = f"s{self.shard_id}"
         self.pin_cpu = pin_cpu
         self._payload = (graph, tree, boundary_local, config.to_dict())
+        self.epoch = 0
         self._log_level = (
             log_level if log_level is not None else logging.getLogger("repro").level
         ) or logging.WARNING
@@ -215,7 +235,7 @@ class WorkerHandle:
             target=_worker_main,
             args=(
                 child, self.shard_id, graph, tree, boundary_local,
-                cfg_dict, self.pin_cpu, self.tag, self._log_level,
+                cfg_dict, self.epoch, self.pin_cpu, self.tag, self._log_level,
             ),
             name=f"repro-shard-{self.shard_id}",
             daemon=True,
@@ -223,6 +243,16 @@ class WorkerHandle:
         self.process.start()
         child.close()  # parent keeps one end only
         self.pid = self.process.pid
+
+    def set_weights(self, weight: np.ndarray, epoch: int) -> None:
+        """Fold new local edge weights into the respawn payload and record
+        the fleet-agreed epoch, so a worker that crashes *after* a
+        reweight is rebuilt at the new weights (and stamped with the new
+        epoch) instead of resurrecting the old ones."""
+        graph, tree, boundary_local, cfg_dict = self._payload
+        graph = type(graph)(graph.n, graph.src, graph.dst, weight)
+        self._payload = (graph, tree, boundary_local, cfg_dict)
+        self.epoch = int(epoch)
 
     def wait_ready(self, timeout: float = CALL_TIMEOUT_S) -> dict[str, Any]:
         """Block until the worker finished its (possibly cache-warm) build."""

@@ -414,6 +414,7 @@ class TestRowLRU:
             assert st == {
                 "capacity": 0, "size": 0, "hits": 0, "misses": 0,
                 "hit_rate": 0.0, "epoch": 0,
+                "epoch_invalidations": 0, "rows_epoch_dropped": 0,
             }
 
 

@@ -266,6 +266,61 @@ class TestShutdown:
             server._draining = False  # let the context manager stop cleanly
 
 
+class TestReweightRPC:
+    """The zero-downtime ``reweight`` op: served distances flip to the new
+    weights epoch, stats surface the epoch counters, malformed payloads
+    get 400s, and path reconstruction follows the *current* weights."""
+
+    def test_dense_then_delta(self, grid6_negative, tmp_path):
+        g, tree = grid6_negative
+        oracle = ShortestPathOracle.build(g, tree)
+        srcs = [0, 7, 35]
+        w2 = np.abs(g.weight) + 1.0
+        want2 = ShortestPathOracle.build(
+            type(g)(g.n, g.src, g.dst, w2), tree
+        ).distances(srcs)
+        w3 = w2.copy()
+        w3[[2, 9]] = [40.0, 0.25]
+        want3 = ShortestPathOracle.build(
+            type(g)(g.n, g.src, g.dst, w3), tree
+        ).distances(srcs)
+        cfg = SERIAL.replace(row_cache=16)
+        with serving(oracle, tmp_path, engine_cfg=cfg) as (sock, server):
+            with OracleClient(sock) as c:
+                c.distances(srcs)  # warm the row LRU on epoch 0
+                res = c.reweight(w2)
+                assert res["weights_epoch"] == 1 and res["mode"] == "engine"
+                assert np.array_equal(c.distances(srcs), want2)
+                res = c.reweight(delta={2: 40.0, 9: 0.25})
+                assert res["weights_epoch"] == 2
+                assert np.array_equal(c.distances(srcs), want3)
+                st = c.stats()
+                assert st["engine"]["weights_epoch"] == 2
+                assert st["engine"]["reweights"] == 2
+                assert st["engine"]["row_cache"]["epoch_invalidations"] == 2
+                # Path reconstruction must walk the *reweighted* graph.
+                path, dist = c.path_with_distance(0, 35)
+                assert path is not None and dist == want3[0][35]
+
+    def test_bad_payloads_get_400(self, grid6_negative, tmp_path):
+        g, tree = grid6_negative
+        oracle = ShortestPathOracle.build(g, tree)
+        with serving(oracle, tmp_path) as (sock, _):
+            with OracleClient(sock) as c:
+                for bad in (
+                    dict(weight=[1.0, 2.0]),                      # wrong length
+                    dict(weight=list(g.weight), delta={"edges": [0], "weights": [1]}),
+                    dict(delta={"edges": [0, 1], "weights": [1.0]}),  # ragged
+                    dict(delta={"edges": [g.m + 5], "weights": [1.0]}),  # range
+                    dict(),                                       # neither
+                ):
+                    with pytest.raises(ServerError) as err:
+                        c._call("reweight", **bad)
+                    assert err.value.code == 400
+                # ... and the server still serves afterwards.
+                assert c.ping()
+
+
 class TestSmoke:
     def test_50_mixed_requests_smoke(self, oracle, tmp_path):
         """CI fast-lane smoke: 50 mixed requests from 5 concurrent clients

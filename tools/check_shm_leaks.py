@@ -34,9 +34,11 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 
-#: Segment-name shape: ``psp[s<shard>]_<pid>_<hex>`` (plain arenas carry no
-#: tag; shard-fleet workers tag theirs with the shard id).
-_SEGMENT_RE = re.compile(r"^psp(?:s(\d+))?_(\d+)_[0-9a-f]+$")
+#: Segment-name shape: ``psp[s<shard>|g<epoch>]_<pid>_<hex>`` (plain arenas
+#: carry no tag; shard-fleet workers tag theirs with the shard id; query
+#: engines tag each arena *generation* with its weights epoch, so a leaked
+#: segment tells you which reweight generation failed to unlink).
+_SEGMENT_RE = re.compile(r"^psp(?:s(\d+))?(?:g(\d+))?_(\d+)_[0-9a-f]+$")
 
 
 def scan() -> list[str]:
@@ -46,13 +48,16 @@ def scan() -> list[str]:
 
 
 def describe(name: str) -> str:
-    """Human-readable provenance of a segment name: its owner pid, and —
-    for per-shard fleet arenas — which shard's worker created it."""
+    """Human-readable provenance of a segment name: its owner pid, for
+    per-shard fleet arenas which shard's worker created it, and for query
+    engines which reweight generation the arena belonged to."""
     m = _SEGMENT_RE.match(name)
     if not m:
         return name
-    shard, pid = m.groups()
+    shard, epoch, pid = m.groups()
     who = f"shard {shard} worker" if shard is not None else "arena owner"
+    if epoch is not None:
+        who += f", epoch {epoch} generation"
     return f"{name} ({who} pid {pid})"
 
 
