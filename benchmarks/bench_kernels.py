@@ -1,18 +1,24 @@
-"""E-kern — the min-plus kernel suite: reference vs blocked vs pruned.
+"""E-kern — the min-plus kernel suite: reference vs blocked vs pruned vs jit.
 
-Two experiments, both recorded in ``benchmarks/results/BENCH_kernels.json``:
+Experiments, all recorded in ``benchmarks/results/BENCH_kernels.json``:
 
 * **micro curves** — one doubling square per kernel on one-hop and closed
   (dense) matrices from the standard grid and Delaunay workloads, over a
   size sweep spanning the machine's cache cliff.  Shows where each kernel
   wins and that ``auto``'s small-product cutoff is on the right side.
+* **jit compile record** — cold vs warm compile seconds for the compiled
+  backend (first :func:`repro.kernels.jit.warm_up` vs a repeat), so the
+  one-time JIT cost is visible next to — and never mixed into — the
+  steady-state curves.  On a numba-less install the record says so and
+  every jit lane is skipped; the numpy numbers are unaffected.
 * **macro** — end-to-end :func:`~repro.core.doubling.augment_doubling` of
   the 56×56 grid per kernel, on two decompositions: the default fine grid
   tree (μ=1/2 — every product is tiny, ``reference``/``auto`` is the right
   call and the suite must not regress it) and a coarse high-μ tree (fat
   band separators — the Table-1 μ→1 regime, where node matrices are a few
-  hundred² and the blocked/pruned kernels win ≥1.5×).  Augmentation edges
-  are checked bit-identical across kernels.
+  hundred² and the blocked/pruned kernels win ≥1.5×; the compiled backend
+  must beat ``pruned`` by another ≥1.5× where it is installed).
+  Augmentation edges are checked bit-identical across kernels.
 """
 
 from __future__ import annotations
@@ -28,11 +34,13 @@ from repro.analysis.tables import render_table
 from repro.core.doubling import augment_doubling
 from repro.core.semiring import MIN_PLUS
 from repro.core.septree import build_separator_tree
+from repro.kernels import dispatch
 from repro.kernels.minplus import semiring_closure, semiring_matmul
 from repro.separators.grid import decompose_grid
 from repro.workloads.generators import delaunay_digraph, grid_digraph
 
-KERNELS = ["reference", "blocked", "pruned"]
+JIT = dispatch.jit_available()
+KERNELS = ["reference", "blocked", "pruned"] + (["jit"] if JIT else [])
 SIDE = 56
 
 #: Micro-sweep operand sizes (straddling the ~190² broadcast cache cliff).
@@ -42,9 +50,11 @@ MICRO_SIZES = [100, 196, 324]
 FAT_BAND = 4
 FAT_LEAF = 300
 
-#: Acceptance bar: blocked or pruned must beat reference by this factor on
-#: the coarse-tree doubling augmentation.
+#: Acceptance bars on the coarse-tree doubling augmentation: blocked or
+#: pruned must beat reference by ≥1.5×, and (where numba is installed) jit
+#: must beat pruned by ≥1.5× on top.
 MACRO_SPEEDUP = 1.5
+JIT_MACRO_SPEEDUP = 1.5
 
 
 def _record_json(results_dir, key: str, record: dict) -> None:
@@ -106,9 +116,46 @@ def _micro_graph(family: str, n: int):
     return g
 
 
+def test_jit_compile_record(report, results_dir):
+    """Cold vs warm compile time of the compiled backend, recorded so the
+    one-time cost is visible in the trajectory (and the steady-state micro
+    curves below are known to exclude it)."""
+    if not JIT:
+        from repro.kernels import jit as jit_mod
+
+        record = {"available": False, "error": jit_mod.NUMBA_IMPORT_ERROR}
+        report("E-kern-jit-compile", "jit backend unavailable (numba not installed)")
+        _record_json(results_dir, "jit_compile", record)
+        return
+    import numba
+
+    from repro.kernels import jit as jit_mod
+
+    cold = jit_mod.warm_up()  # first call: compile (or load numba's disk cache)
+    warm = jit_mod.warm_up()  # repeat: everything already compiled
+    record = {
+        "available": True,
+        "numba": numba.__version__,
+        "numpy": np.__version__,
+        "cold_compile_s": cold,
+        "warm_compile_s": warm,
+        "numba_cache_dir": os.environ.get("NUMBA_CACHE_DIR", ""),
+    }
+    report(
+        "E-kern-jit-compile",
+        f"jit compile: cold {cold:.2f}s, warm {warm * 1e3:.1f}ms "
+        f"(numba {numba.__version__})",
+    )
+    _record_json(results_dir, "jit_compile", record)
+
+
 def test_micro_kernel_curves(report, results_dir):
     """One doubling square per kernel on sparse (one-hop) and dense (closed)
     operands from the grid and Delaunay families."""
+    if JIT:
+        from repro.kernels import jit as jit_mod
+
+        jit_mod.warm_up()  # keep compile time out of the curves
     rows = []
     record = {}
     for family in ("grid", "delaunay"):
@@ -129,17 +176,18 @@ def test_micro_kernel_curves(report, results_dir):
                 rows.append([
                     family, n, label,
                     *(round(times[k] * 1e3, 2) for k in KERNELS),
-                    round(ref / times["blocked"], 2),
-                    round(ref / times["pruned"], 2),
+                    *(round(ref / times[k], 2) for k in KERNELS[1:]),
                 ])
                 record[f"{family}-{n}-{label}"] = {
                     "times_ms": {k: times[k] * 1e3 for k in KERNELS},
-                    "speedup_blocked": ref / times["blocked"],
-                    "speedup_pruned": ref / times["pruned"],
+                    **{
+                        f"speedup_{k}": ref / times[k] for k in KERNELS[1:]
+                    },
                 }
     table = render_table(
-        ["family", "n", "iterate", "ref ms", "blocked ms", "pruned ms",
-         "blocked x", "pruned x"],
+        ["family", "n", "iterate",
+         *(f"{k} ms" for k in KERNELS),
+         *(f"{k} x" for k in KERNELS[1:])],
         rows,
         title="E-kern micro: one min-plus square per kernel (bit-identity checked)",
     )
@@ -149,8 +197,13 @@ def test_micro_kernel_curves(report, results_dir):
 
 def test_macro_doubling_augmentation(grid_workload, report, results_dir):
     """End-to-end Algorithm 4.3 per kernel on the 56×56 grid, fine and
-    coarse trees; asserts bit-identical E⁺ and the ≥1.5× coarse-tree bar."""
+    coarse trees; asserts bit-identical E⁺, the ≥1.5× coarse-tree bar, and
+    (numba installed) the compiled backend's ≥1.5× over pruned."""
     g = grid_workload
+    if JIT:
+        from repro.kernels import jit as jit_mod
+
+        jit_mod.warm_up()
     trees = {
         "fine (mu=1/2 grid tree)": decompose_grid(g, (SIDE, SIDE)),
         "coarse (high-mu fat-band tree)": fat_grid_tree(g, SIDE),
@@ -175,17 +228,17 @@ def test_macro_doubling_augmentation(grid_workload, report, results_dir):
         rows.append([
             tree_label, base.size,
             *(round(times[k], 2) for k in KERNELS),
-            round(ref / times["blocked"], 2),
-            round(ref / times["pruned"], 2),
+            *(round(ref / times[k], 2) for k in KERNELS[1:]),
         ])
         record[tree_label.split(" ")[0]] = {
             "eplus": base.size,
             "times_s": {k: times[k] for k in KERNELS},
-            "speedup_blocked": ref / times["blocked"],
-            "speedup_pruned": ref / times["pruned"],
+            **{f"speedup_{k}": ref / times[k] for k in KERNELS[1:]},
         }
     table = render_table(
-        ["tree", "|E+|", "ref s", "blocked s", "pruned s", "blocked x", "pruned x"],
+        ["tree", "|E+|",
+         *(f"{k} s" for k in KERNELS),
+         *(f"{k} x" for k in KERNELS[1:])],
         rows,
         title="E-kern macro: augment_doubling(56x56 grid) per kernel — E+ bit-identical",
     )
@@ -196,3 +249,9 @@ def test_macro_doubling_augmentation(grid_workload, report, results_dir):
     assert best >= MACRO_SPEEDUP, (
         f"best coarse-tree kernel speedup {best:.2f}x < {MACRO_SPEEDUP}x"
     )
+    if JIT:
+        jit_vs_pruned = coarse["speedup_jit"] / coarse["speedup_pruned"]
+        assert jit_vs_pruned >= JIT_MACRO_SPEEDUP, (
+            f"jit only {jit_vs_pruned:.2f}x over pruned on the coarse tree "
+            f"(< {JIT_MACRO_SPEEDUP}x)"
+        )

@@ -480,8 +480,9 @@ def main(argv: list[str] | None = None) -> int:
     p3.add_argument("--n", type=int, default=1024)
     p3.add_argument("--sources", type=int, default=4)
     p3.add_argument("--method", choices=["leaves_up", "doubling"], default="leaves_up")
-    p3.add_argument("--kernel", choices=["auto", "reference", "blocked", "pruned"],
-                    default=None, help="min-plus matmul kernel for preprocessing")
+    p3.add_argument("--kernel", choices=["auto", "reference", "blocked", "pruned", "jit"],
+                    default=None,
+                    help="min-plus kernel (jit needs the numba extra)")
     p3.add_argument("--leaf-size", dest="leaf_size", type=int, default=8)
     p3.add_argument("--seed", type=int, default=0)
     _add_cache_flags(p3)
@@ -508,8 +509,9 @@ def main(argv: list[str] | None = None) -> int:
     p7.add_argument("--method",
                     choices=["leaves_up", "doubling", "doubling_shared"],
                     default="leaves_up")
-    p7.add_argument("--kernel", choices=["auto", "reference", "blocked", "pruned"],
-                    default=None, help="min-plus matmul kernel for preprocessing")
+    p7.add_argument("--kernel", choices=["auto", "reference", "blocked", "pruned", "jit"],
+                    default=None,
+                    help="min-plus kernel (jit needs the numba extra)")
     p7.add_argument("--leaf-size", dest="leaf_size", type=int, default=8)
     p7.add_argument("--seed", type=int, default=0)
     p7.add_argument("--check", action="store_true",
@@ -529,8 +531,9 @@ def main(argv: list[str] | None = None) -> int:
     p8.add_argument("--method",
                     choices=["leaves_up", "doubling", "doubling_shared"],
                     default="leaves_up")
-    p8.add_argument("--kernel", choices=["auto", "reference", "blocked", "pruned"],
-                    default=None, help="min-plus matmul kernel for preprocessing")
+    p8.add_argument("--kernel", choices=["auto", "reference", "blocked", "pruned", "jit"],
+                    default=None,
+                    help="min-plus kernel (jit needs the numba extra)")
     p8.add_argument("--leaf-size", dest="leaf_size", type=int, default=8)
     p8.add_argument("--seed", type=int, default=0)
     p8.add_argument("--backend", default="shm",

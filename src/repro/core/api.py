@@ -226,6 +226,9 @@ class ShortestPathOracle:
                 keep_node_distances=cfg.keep_node_distances,
                 kernel=cfg.kernel,
             )
+            # Thread the kernel choice into every relaxer/schedule derived
+            # from this augmentation (must precede aug.schedule() below).
+            aug.kernel = cfg.kernel
             oracle = cls(
                 graph, tree, aug, aug.schedule(), preprocess_ledger=ledger, config=cfg
             )
@@ -264,6 +267,7 @@ class ShortestPathOracle:
         aug, meta = loaded
         if cfg.validate and not meta.get("validated"):
             tree.validate(graph)
+        aug.kernel = cfg.kernel
         oracle = cls(graph, tree, aug, aug.schedule(), preprocess_ledger=Ledger(), config=cfg)
         cache_info.update(
             status="hit",
@@ -550,6 +554,7 @@ class ShortestPathOracle:
             base_state=base_state,
             dirty_edges=dirty_edges,
             keep_node_distances=cfg.keep_node_distances,
+            kernel=cfg.kernel,
         )
         aug.weights_epoch = self.augmentation.weights_epoch + 1
         if validate:
@@ -635,6 +640,7 @@ class ShortestPathOracle:
             semiring=aug.semiring,
             keep_node_distances=bool(aug.node_distances),
         )
+        aug.kernel = cfg.kernel
         return cls(
             aug.graph, aug.tree, aug, aug.schedule(),
             preprocess_ledger=Ledger(), config=cfg,

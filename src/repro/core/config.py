@@ -19,9 +19,11 @@ The three historically overloaded knob names keep their meaning everywhere
     ``"serial" | "thread[:N]" | "process[:N]" | "shm[:N]"`` (or an
     executor instance) per :func:`repro.pram.executor.get_executor`.
 ``kernel``
-    *Min-plus matmul implementation* used by preprocessing inner products:
-    ``None``/``"auto" | "reference" | "blocked" | "pruned"`` per
-    :mod:`repro.kernels.dispatch`; all choices are bit-identical.
+    *Min-plus inner-loop implementation* used by preprocessing products
+    and relaxation phases: ``None``/``"auto" | "reference" | "blocked" |
+    "pruned" | "jit"`` per :mod:`repro.kernels.dispatch`; all choices are
+    bit-identical (``"jit"`` is the compiled numba backend and requires
+    the optional ``repro[jit]`` extra).
 
 Back-compat contract
 --------------------
@@ -63,7 +65,7 @@ UNSET = _Unset()
 
 _METHODS = ("leaves_up", "doubling", "doubling_shared")
 _ENGINES = ("scheduled", "naive")
-_KERNELS = (None, "auto", "reference", "blocked", "pruned")
+_KERNELS = (None, "auto", "reference", "blocked", "pruned", "jit")
 _CACHE_MODES = ("off", "read", "readwrite")
 _SHARD_BACKENDS = ("inline", "process")
 _REWEIGHT_MODES = ("auto", "incremental", "rebuild")
@@ -92,7 +94,10 @@ class OracleConfig:
     executor:
         Backend spec per :func:`repro.pram.executor.get_executor`.
     kernel:
-        Min-plus matmul kernel (:mod:`repro.kernels.dispatch`).
+        Min-plus inner-loop kernel (:mod:`repro.kernels.dispatch`),
+        threaded into both the matmuls and the relaxation phases;
+        ``"jit"`` selects the compiled numba backend (optional
+        ``repro[jit]`` extra — raises at resolve time when absent).
     keep_node_distances:
         Retain per-node distance matrices after the build (needed by the
         k-pair witness oracle; costs memory).

@@ -68,12 +68,13 @@ def _shard_relaxers(spec: dict[str, Any]) -> list[EdgeRelaxer]:
     relaxers = _ENGINE_CACHE.get(spec["token"])
     if relaxers is None:
         semiring = SEMIRINGS[spec["semiring"]]
+        kernel = spec.get("kernel")  # the build's kernel choice, worker-side
         built: dict[int, EdgeRelaxer] = {}
         relaxers = []
         for ph in spec["phases"]:
             r = built.get(id(ph))
             if r is None:
-                r = EdgeRelaxer.from_compiled(ph, semiring)
+                r = EdgeRelaxer.from_compiled(ph, semiring, kernel=kernel)
                 built[id(ph)] = r
             relaxers.append(r)
         if len(_ENGINE_CACHE) >= _ENGINE_CACHE_MAX:
@@ -277,6 +278,7 @@ class QueryEngine:
             "mode": self.engine,
             "cap": aug.diameter_bound,
             "source_block": self.source_block,
+            "kernel": aug.kernel,
             "phases": phases,
         }
 

@@ -322,6 +322,7 @@ class ReweightPlan:
         dirty_edges: np.ndarray | None = None,
         keep_node_distances: bool = False,
         raise_on_negative_cycle: bool = True,
+        kernel: str | None = None,
     ) -> Augmentation:
         """One weight-only sweep; returns a fresh :class:`Augmentation`
         (with ``_reweight_state`` attached) for ``graph``'s weights.
@@ -330,6 +331,9 @@ class ReweightPlan:
         ``base_state``) restricts the sweep to the root paths of leaves
         containing those edges.  The base state is never mutated — a
         negative-cycle raise leaves the serving augmentation intact.
+        ``kernel`` is the lineage's relaxation-kernel preference; it must
+        arrive here (not be patched on afterwards) because the cloned
+        schedule's relaxers are built before this method returns.
         """
         zero, dtype = semiring.zero, semiring.dtype
         sparse = dirty_edges is not None and base_state is not None
@@ -371,6 +375,7 @@ class ReweightPlan:
             # the lineage keeps the builder's method tag (and with it its
             # eligibility for further incremental reweights).
             method="leaves_up",
+            kernel=kernel,
         )
         aug._reweight_state = ReweightState(  # type: ignore[attr-defined]
             heap=heap, leaf_diam=leaf_diam
@@ -690,6 +695,7 @@ class ReweightPlan:
                 "targets": sc["orig_targets"],
             },
             semiring,
+            kernel=aug.kernel,
         )
         ell = aug.ell
         relaxers, labels = [], []
@@ -708,6 +714,7 @@ class ReweightPlan:
                         "targets": ph["targets"],
                     },
                     semiring,
+                    kernel=aug.kernel,
                 )
             )
             labels.append(ph["label"])

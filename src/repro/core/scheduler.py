@@ -83,12 +83,17 @@ def build_schedule(aug: Augmentation) -> PhaseSchedule:
     scans = 0
     aug_counts = np.zeros(src.shape[0], dtype=np.int64)
 
-    original = EdgeRelaxer(g.src, g.dst, g.weight.astype(semiring.dtype), semiring)
+    kern = aug.kernel
+    original = EdgeRelaxer(
+        g.src, g.dst, g.weight.astype(semiring.dtype), semiring, kernel=kern
+    )
 
     def add_filtered(mask: np.ndarray, label: str) -> None:
         nonlocal scans
         aug_counts[mask] += 1
-        relaxers.append(EdgeRelaxer(src[mask], dst[mask], w[mask], semiring))
+        relaxers.append(
+            EdgeRelaxer(src[mask], dst[mask], w[mask], semiring, kernel=kern)
+        )
         labels.append(label)
         scans += int(mask.sum())
 

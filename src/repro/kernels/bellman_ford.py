@@ -48,9 +48,21 @@ class EdgeRelaxer:
     The dst-sorted permutation and the ``reduceat`` segment boundaries are
     precomputed once so each phase is two gathers, one ⊗, one segmented ⊕
     and one ⊕-assignment — no Python-level per-edge work.
+
+    ``kernel`` selects the phase implementation the same way it does for
+    the matmuls (:mod:`repro.kernels.dispatch`): ``None`` defers to the
+    process default (``$REPRO_KERNEL`` / :func:`~repro.kernels.dispatch.
+    set_default_kernel`), ``"jit"`` forces the compiled CSR core of
+    :mod:`repro.kernels.jit` (raising the numba-extra error when
+    unavailable), ``"auto"`` takes the compiled core when it is importable
+    and the phase clears the (autotunable) ``jit_min_relax_ops`` scan
+    floor, and any numpy matmul name keeps the ``reduceat`` path.  Every
+    choice is bit-identical: the compiled phase buffers its grouped ⊕
+    before writing (synchronous Jacobi, like ``reduceat``) and every
+    shipped ⊕ is an exact selection.
     """
 
-    __slots__ = ("semiring", "m", "_src", "_w", "_starts", "_targets")
+    __slots__ = ("semiring", "m", "kernel", "_src", "_w", "_starts", "_targets")
 
     def __init__(
         self,
@@ -58,8 +70,10 @@ class EdgeRelaxer:
         dst: np.ndarray,
         weight: np.ndarray,
         semiring: Semiring = MIN_PLUS,
+        kernel: str | None = None,
     ) -> None:
         self.semiring = semiring
+        self.kernel = kernel
         src = np.asarray(src, dtype=np.int64)
         dst = np.asarray(dst, dtype=np.int64)
         weight = np.asarray(weight, dtype=semiring.dtype)
@@ -78,9 +92,14 @@ class EdgeRelaxer:
             self._targets = np.empty(0, dtype=np.int64)
 
     @classmethod
-    def from_graph(cls, g: WeightedDigraph, semiring: Semiring = MIN_PLUS) -> "EdgeRelaxer":
+    def from_graph(
+        cls,
+        g: WeightedDigraph,
+        semiring: Semiring = MIN_PLUS,
+        kernel: str | None = None,
+    ) -> "EdgeRelaxer":
         """Relaxer over all edges of ``g``."""
-        return cls(g.src, g.dst, g.weight, semiring)
+        return cls(g.src, g.dst, g.weight, semiring, kernel=kernel)
 
     def compiled(self) -> dict[str, np.ndarray]:
         """The precomputed (dst-sorted) arrays of this relaxer, for shipping
@@ -96,12 +115,16 @@ class EdgeRelaxer:
 
     @classmethod
     def from_compiled(
-        cls, arrays: dict[str, np.ndarray], semiring: Semiring = MIN_PLUS
+        cls,
+        arrays: dict[str, np.ndarray],
+        semiring: Semiring = MIN_PLUS,
+        kernel: str | None = None,
     ) -> "EdgeRelaxer":
         """Rebuild a relaxer from :meth:`compiled` output (zero sorting; the
         arrays are used as-is, so shared-memory views stay zero-copy)."""
         obj = cls.__new__(cls)
         obj.semiring = semiring
+        obj.kernel = kernel
         obj._src = arrays["src"]
         obj._w = arrays["w"]
         obj._starts = arrays["starts"]
@@ -109,19 +132,57 @@ class EdgeRelaxer:
         obj.m = int(obj._src.shape[0])
         return obj
 
+    def _use_jit(self, nrows: int) -> bool:
+        """Whether this phase should run on the compiled CSR core (see the
+        class docstring for the resolution rules)."""
+        name = self.kernel
+        if name is None:
+            from .dispatch import get_default_kernel
+
+            name = get_default_kernel()
+        if name == "jit":
+            from . import jit
+            from .dispatch import _kernel_error
+
+            if not jit.jit_available():
+                raise _kernel_error("jit", via_env=self.kernel is None)
+            return jit.relax_supported(self.semiring)
+        if name == "auto":
+            from . import jit
+
+            if not (jit.jit_available() and jit.relax_supported(self.semiring)):
+                return False
+            from .dispatch import relax_jit_threshold
+
+            return float(nrows) * self.m >= relax_jit_threshold()
+        return False
+
     def relax(self, dist: np.ndarray, *, ledger: Ledger = NULL_LEDGER) -> bool:
         """One synchronous phase over ``dist`` of shape ``(..., n)``, in
         place.  Returns whether any entry strictly improved."""
         if not self.m:
             return False
         sr = self.semiring
+        rows = int(np.prod(dist.shape[:-1], dtype=np.int64)) if dist.ndim > 1 else 1
+        if dist.ndim <= 2 and self._use_jit(rows):
+            from . import jit
+
+            view = dist if dist.ndim == 2 else dist[None, :]
+            row_changed = jit.relax_phase(
+                view, self._src, self._w, self._starts, self._targets, sr
+            )
+            ledger.charge(
+                work=float(rows) * self.m,
+                depth=reduce_depth(dist.shape[-1]),
+                label="bf-phase",
+            )
+            return bool(row_changed.any())
         cand = sr.mul(dist[..., self._src], self._w)
         grouped = sr.add.reduceat(cand, self._starts, axis=-1)
         cur = dist[..., self._targets]
         changed = bool(sr.improves(grouped, cur).any())
         if changed:
             dist[..., self._targets] = sr.add(cur, grouped)
-        rows = int(np.prod(dist.shape[:-1], dtype=np.int64)) if dist.ndim > 1 else 1
         ledger.charge(
             work=float(rows) * self.m,
             depth=reduce_depth(dist.shape[-1]),
@@ -150,6 +211,22 @@ class EdgeRelaxer:
             (rows == np.arange(dist.shape[0])).all()
         )
         sub = dist if full else dist[rows]  # full frontier: in place, no gather
+        if self._use_jit(rows.size):
+            from . import jit
+
+            row_changed = jit.relax_phase(
+                sub, self._src, self._w, self._starts, self._targets, sr
+            )
+            ledger.charge(
+                work=float(rows.size) * self.m,
+                depth=reduce_depth(dist.shape[-1]),
+                label="bf-phase",
+            )
+            if not row_changed.any():
+                return rows[:0]
+            if sub is not dist:
+                dist[rows[row_changed]] = sub[row_changed]
+            return rows[row_changed]
         cand = sr.mul(sub[:, self._src], self._w)
         grouped = sr.add.reduceat(cand, self._starts, axis=-1)
         cur = sub[:, self._targets]

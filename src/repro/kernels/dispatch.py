@@ -23,6 +23,12 @@ Registered kernels (implemented in :mod:`repro.kernels.minplus`):
     +inf, so whole panels skip.  Falls back to blocked accumulation on
     dense panels.
 
+A fourth kernel, ``jit`` (:mod:`repro.kernels.jit`), registers **only when
+numba imports**: compiled register-accumulating loops that avoid the
+⊕-reduction temporaries entirely.  numba is a strictly optional extra
+(``pip install repro[jit]``); without it ``auto`` never selects ``jit``
+and an explicit request raises a :class:`ValueError` naming the extra.
+
 All kernels produce bit-identical outputs for the registered semirings
 because every shipped ``⊕`` (min / max / or) is an exact, order-independent
 selection — re-associating the reduction over ``k`` cannot change a single
@@ -35,8 +41,10 @@ Selection
 * process default: :func:`set_default_kernel` or the ``REPRO_KERNEL``
   environment variable (``reference`` | ``blocked`` | ``pruned`` | ``auto``);
 * ``auto`` (the default): ``reference`` for small products (dispatch and
-  masking overhead dominates below ~32k ⊗-operations), ``pruned`` above
-  (it degrades gracefully to blocked panels when nothing is prunable).
+  masking overhead dominates below ~32k ⊗-operations); above that,
+  ``jit`` when the compiled backend is importable and the product clears
+  the (autotunable) ``jit_min_ops`` threshold, else ``pruned`` (which
+  degrades gracefully to blocked panels when nothing is prunable).
 
 Autotuned block sizes
 ---------------------
@@ -69,12 +77,14 @@ __all__ = [
     "choose_kernel",
     "get_default_kernel",
     "set_default_kernel",
+    "jit_available",
     "DEFAULT_TUNING",
     "tuning_for",
     "tuning_path",
     "load_tuning",
     "save_tuning",
     "reload_tuning",
+    "relax_jit_threshold",
 ]
 
 #: name -> kernel callable ``fn(a, b, semiring, out, accumulate, budget, tuning)``.
@@ -84,10 +94,15 @@ _KERNELS: dict[str, Callable] = {}
 #: mask and Python-loop overhead beat any cache savings on tiny products).
 AUTO_SMALL_OPS = 1 << 15
 
-#: Fallback block shapes; the autotuner overrides these per machine.
+#: Fallback block shapes (and ``auto``-policy thresholds; the ``jit``
+#: entries only matter where numba is installed); the autotuner overrides
+#: these per machine.  The reserved ``meta`` key of the tuning file holds
+#: provenance (numpy/numba versions, measured compile time) and is never a
+#: kernel name.
 DEFAULT_TUNING: dict[str, dict] = {
     "blocked": {"block_l": 32, "block_k": 128, "block_m": 128},
     "pruned": {"block_l": 48, "dead_frac": 0.0625},
+    "auto": {"jit_min_ops": AUTO_SMALL_OPS, "jit_min_relax_ops": 1 << 13},
 }
 
 _ENV_KERNEL = "REPRO_KERNEL"
@@ -110,12 +125,44 @@ def register_kernel(name: str):
 def _ensure_registered() -> None:
     if not _KERNELS:  # populate via minplus's module-level decorators
         from . import minplus  # noqa: F401
+        from . import jit  # noqa: F401  (self-registers only when numba imports)
 
 
 def available_kernels() -> list[str]:
-    """Names of the registered kernels (sorted)."""
+    """Names of the registered kernels (sorted).  ``jit`` appears only
+    when numba is importable — the registry lists what can actually run."""
     _ensure_registered()
     return sorted(_KERNELS)
+
+
+def jit_available() -> bool:
+    """Whether the compiled ``jit`` backend can run in this process."""
+    try:
+        from . import jit
+
+        return jit.jit_available()
+    except Exception:  # pragma: no cover - a broken partial install
+        return False
+
+
+def _kernel_error(name: str, via_env: bool) -> ValueError:
+    """A helpful error for an unresolvable kernel name: lists what is
+    registered, names the ``numba`` extra when ``jit`` was asked for, and
+    points at ``$REPRO_KERNEL`` when that is where the name came from."""
+    origin = f" (from ${_ENV_KERNEL})" if via_env else ""
+    have = available_kernels()
+    if name == "jit":
+        from . import jit
+
+        detail = f": {jit.NUMBA_IMPORT_ERROR}" if jit.NUMBA_IMPORT_ERROR else ""
+        return ValueError(
+            f"kernel 'jit'{origin} requires the optional numba dependency "
+            f"(pip install 'repro[jit]'){detail}; registered kernels: {have}"
+        )
+    return ValueError(
+        f"unknown kernel {name!r}{origin}; registered kernels: {have} "
+        f"(or 'auto'; select via kernel=, OracleConfig.kernel, or ${_ENV_KERNEL})"
+    )
 
 
 def get_default_kernel() -> str:
@@ -131,34 +178,45 @@ def set_default_kernel(name: str | None) -> None:
     global _default_kernel
     if name is not None and name != "auto":
         _ensure_registered()
-        if name not in _KERNELS:
-            raise ValueError(f"unknown kernel {name!r}; have {available_kernels()}")
+        if name not in _KERNELS or (name == "jit" and not jit_available()):
+            raise _kernel_error(name, via_env=False)
     _default_kernel = name
 
 
 def choose_kernel(l: int, k: int, m: int) -> str:
     """The ``auto`` policy: pick a concrete kernel for an ``l×k ⊗ k×m``
-    product.  Small products take the broadcast reference; everything else
-    takes ``pruned``, which self-degrades to blocked panels when dense."""
-    if float(l) * k * m <= AUTO_SMALL_OPS:
+    product.  Small products take the broadcast reference; past the
+    (autotunable) ``jit_min_ops`` threshold the compiled backend wins when
+    it is importable; everything else takes ``pruned``, which
+    self-degrades to blocked panels when dense."""
+    ops = float(l) * k * m
+    if ops <= AUTO_SMALL_OPS:
         return "reference"
+    if jit_available() and ops >= float(
+        tuning_for("auto").get("jit_min_ops", AUTO_SMALL_OPS)
+    ):
+        return "jit"
     return "pruned"
 
 
 def resolve_kernel(name: str | None, l: int, k: int, m: int) -> tuple[str, Callable]:
     """Resolve a kernel spec (explicit name, ``"auto"`` or ``None`` for the
-    process default) to ``(concrete name, callable)``."""
+    process default) to ``(concrete name, callable)``.
+
+    An unresolvable name — unknown, or ``jit`` on a numba-less install,
+    whether passed explicitly or arriving via ``$REPRO_KERNEL`` — raises a
+    :class:`ValueError` listing the registered kernels."""
     _ensure_registered()
+    via_env = False
     if name is None:
         name = get_default_kernel()
+        via_env = _default_kernel is None and name != "auto"
     if name == "auto":
         name = choose_kernel(l, k, m)
-    try:
-        return name, _KERNELS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown kernel {name!r}; have {available_kernels()}"
-        ) from None
+    fn = _KERNELS.get(name)
+    if fn is None or (name == "jit" and not jit_available()):
+        raise _kernel_error(name, via_env=via_env)
+    return name, fn
 
 
 # ------------------------------------------------------------------ #
@@ -215,7 +273,15 @@ def save_tuning(tuning: dict, path: pathlib.Path | None = None) -> pathlib.Path:
 
 def tuning_for(kernel: str) -> dict:
     """Effective parameters for ``kernel``: defaults overlaid with any
-    persisted autotuner winners."""
+    persisted autotuner winners.  (``"auto"`` holds the policy thresholds;
+    the tuning file's ``"meta"`` key is provenance, not a kernel.)"""
     params = dict(DEFAULT_TUNING.get(kernel, {}))
     params.update(load_tuning().get(kernel, {}))
     return params
+
+
+def relax_jit_threshold() -> float:
+    """``auto``-policy floor, in row·edge scans, below which a relaxation
+    phase stays on the numpy ``reduceat`` path (compiled-call overhead
+    dominates tiny phases).  Autotunable as ``auto.jit_min_relax_ops``."""
+    return float(tuning_for("auto").get("jit_min_relax_ops", 1 << 13))

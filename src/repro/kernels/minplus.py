@@ -20,6 +20,9 @@ the exactness argument):
 * ``pruned`` — per row panel, ``k`` columns that are all 0̄ in ``A`` (or
   whose ``B`` row is all 0̄) are compressed away before multiplying; 0̄ is
   ⊗-annihilating and the ⊕-identity, so the result is unchanged bit for bit.
+
+A fourth, ``jit`` (:mod:`repro.kernels.jit`), is compiled via numba and
+registers only when that optional dependency imports.
 """
 
 from __future__ import annotations
@@ -226,9 +229,10 @@ def semiring_matmul(
         ⊕-combined into ``out`` instead of overwriting it (the idiom for
         ``W ← W ⊕ (W ⊗ W)`` doubling steps).
     kernel:
-        ``"reference"``, ``"blocked"``, ``"pruned"``, ``"auto"`` or ``None``
-        (the process default — see :mod:`repro.kernels.dispatch`).  Every
-        choice is bit-identical; they trade temporaries and scanned work.
+        ``"reference"``, ``"blocked"``, ``"pruned"``, ``"jit"`` (numba,
+        optional extra), ``"auto"`` or ``None`` (the process default — see
+        :mod:`repro.kernels.dispatch`).  Every choice is bit-identical;
+        they trade temporaries and scanned work.
     """
     a = np.asarray(a)
     b = np.asarray(b)
@@ -306,8 +310,30 @@ def hop_limited_product(
     if hops < 1:
         raise ValueError("hops must be >= 1")
     base = np.array(w, dtype=semiring.dtype, copy=True)
+    n = base.shape[0]
     diag = np.einsum("ii->i", base)
-    semiring.add(diag, np.full(base.shape[0], semiring.one, dtype=semiring.dtype), out=diag)
+    semiring.add(diag, np.full(n, semiring.one, dtype=semiring.dtype), out=diag)
+    if hops > 1:
+        # Compiled fast path: when the resolved kernel is ``jit``, run the
+        # whole hop loop through the compiled cores with ping-pong buffers
+        # (bit-identical to ``hops - 1`` dispatched jit matmuls; skips the
+        # per-hop allocation and dispatch overhead of Algorithm 4.1's
+        # 3-limited computation).  The ledger still sees one model-cost
+        # product per hop — kernels are execution detail.
+        from . import jit as _jit
+
+        if (
+            resolve_kernel(kernel, n, n, n)[0] == "jit"
+            and _jit.matmul_supported(semiring)
+        ):
+            acc = _jit.hop_limited_jit(base, hops, semiring)
+            for _ in range(hops - 1):
+                ledger.charge(
+                    work=float(n) * n * n,
+                    depth=reduce_depth(n),
+                    label="semiring-matmul",
+                )
+            return acc
     acc = base
     for _ in range(hops - 1):
         acc = semiring_matmul(acc, base, semiring, ledger=ledger, budget=budget, kernel=kernel)

@@ -1,4 +1,4 @@
-"""Autotune the blocked/pruned min-plus kernels for this machine.
+"""Autotune the blocked/pruned/jit min-plus kernels for this machine.
 
 Block sizes trade temporary-array footprint against Python-loop overhead,
 and the sweet spot depends on cache sizes and the numpy build.  This tool
@@ -10,6 +10,19 @@ times candidate shapes on two representative workloads —
 and persists the winners via :func:`repro.kernels.dispatch.save_tuning`, so
 every later :func:`~repro.kernels.minplus.semiring_matmul` call picks them
 up through :func:`~repro.kernels.dispatch.tuning_for`.
+
+When the compiled ``jit`` backend is importable it is timed too — *after*
+an explicit :func:`repro.kernels.jit.warm_up`, so first-call compilation
+never pollutes the steady-state numbers — and the ``auto`` policy's
+``jit_min_ops`` threshold is fitted from the crossover against the best
+numpy kernel.  A backend that fails to import (e.g. ``jit`` without the
+``numba`` extra) is skipped with a log line, never a crash.
+
+The tuning JSON's reserved ``meta`` key records provenance: numpy and
+numba versions plus the measured warm-compile seconds.  A cache whose
+recorded versions do not match the running interpreter is stale and worth
+re-tuning (numba invalidates its own on-disk cache on version bumps, so
+the recorded compile time is the honest re-pay cost).
 
 Usage: python tools/autotune_kernels.py [--size N] [--repeats R] [--dry-run]
 """
@@ -23,7 +36,6 @@ import time
 import numpy as np
 
 from repro.kernels import dispatch
-from repro.kernels.minplus import semiring_matmul
 from repro.core.semiring import MIN_PLUS
 
 #: Candidate grids.  Kept small: the whole sweep is a few dozen timed calls.
@@ -74,6 +86,37 @@ def _sweep(a: np.ndarray, kernel: str, grid: dict, repeats: int) -> tuple[dict, 
     return best_params, best_t
 
 
+def _jit_crossover(
+    dense_t: float, numpy_t: float, n: int, repeats: int
+) -> float:
+    """Fit the ``auto`` policy's ``jit_min_ops`` threshold: the operation
+    count where the compiled kernel starts beating the best numpy kernel.
+
+    The compiled kernel's per-call fixed cost (dispatch + thread fork)
+    dominates tiny products; both kernels scale ~linearly in ``l·k·m`` at
+    the sizes that matter, so a sweep over shrinking squares finds the
+    crossover within a factor of 8 — plenty for a policy knob with a safe
+    default.
+    """
+    if dense_t >= numpy_t:  # compiled slower even at full size: never auto-pick
+        return float(2**62)  # finite (strict JSON), unreachably large
+    side = n
+    threshold = float(side) ** 3
+    while side >= 32:
+        side //= 2
+        rng = np.random.default_rng(side)
+        a = _dense_operand(side, rng)
+        jt = _time_call(a, "jit", {}, repeats)
+        nt = min(
+            _time_call(a, "pruned", {}, repeats),
+            _time_call(a, "blocked", {}, repeats),
+        )
+        if jt >= nt:
+            break
+        threshold = float(side) ** 3
+    return max(threshold, float(dispatch.AUTO_SMALL_OPS))
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--size", type=int, default=384, help="operand side length")
@@ -101,7 +144,43 @@ def main(argv: list[str] | None = None) -> int:
     print(f"pruned winner {pruned_params}: {pruned_t * 1e3:.2f}ms "
           f"({ref_sparse / pruned_t:.2f}x vs reference on sparse)")
 
-    winners = {"blocked": blocked_params, "pruned": pruned_params}
+    winners: dict[str, dict] = {"blocked": blocked_params, "pruned": pruned_params}
+    meta: dict[str, object] = {
+        "numpy": np.__version__,
+        "tuned_size": n,
+    }
+
+    # ---- optional compiled backend: skip (never crash) when unimportable.
+    try:
+        from repro.kernels import jit as jit_mod
+
+        jit_ok = jit_mod.jit_available()
+        if not jit_ok:
+            print(f"jit backend unavailable, skipping ({jit_mod.NUMBA_IMPORT_ERROR})")
+    except Exception as exc:  # pragma: no cover - broken partial install
+        jit_ok = False
+        print(f"jit backend failed to import, skipping ({type(exc).__name__}: {exc})")
+
+    if jit_ok:
+        import numba
+
+        compile_s = jit_mod.warm_up()
+        meta["numba"] = numba.__version__
+        meta["jit_compile_s"] = round(compile_s, 3)
+        print(f"jit warm-up (compile): {compile_s:.2f}s")
+
+        jit_dense = _time_call(dense, "jit", {}, args.repeats)
+        jit_sparse = _time_call(sparse, "jit", {}, args.repeats)
+        print(f"jit: dense {jit_dense * 1e3:.2f}ms ({ref_dense / jit_dense:.2f}x ref)  "
+              f"sparse {jit_sparse * 1e3:.2f}ms ({ref_sparse / jit_sparse:.2f}x ref)")
+
+        jit_min_ops = _jit_crossover(
+            jit_dense, min(blocked_t, pruned_t), n, args.repeats
+        )
+        winners["auto"] = {"jit_min_ops": jit_min_ops}
+        print(f"auto policy: jit_min_ops = {jit_min_ops:.3g}")
+
+    winners["meta"] = meta
     if args.dry_run:
         print("dry run; not persisting")
         return 0
