@@ -22,23 +22,59 @@ import sys
 import numpy as np
 
 
-def _oracle_config_from_args(args):
-    """One :class:`~repro.core.config.OracleConfig` from the shared
-    workload/build flags — the CLI-side of the config consolidation (every
-    subcommand builds through this instead of repeating the kwargs)."""
+#: Default queue-wait p99 target (ms) selected by the bare ``--autoscale``
+#: switch (``--autoscale-p99-ms`` overrides it with an explicit target).
+DEFAULT_AUTOSCALE_P99_MS = 50.0
+
+#: argparse dest → :class:`~repro.core.config.OracleConfig` field.  This
+#: table is the *only* flag→config plumbing: every serving/build flag maps
+#: 1:1 onto a config field through :func:`config_from_args`, and its
+#: ``--help`` text comes from the field's dataclass docstring
+#: (:meth:`OracleConfig.field_doc`) so flag and field cannot drift.
+_CONFIG_FLAG_FIELDS = {
+    "method": "method",
+    "leaf_size": "leaf_size",
+    "kernel": "kernel",
+    "backend": "executor",
+    "engine": "engine",
+    "cache": "cache",
+    "cache_dir": "cache_dir",
+    "row_cache": "row_cache",
+    "reweight": "reweight",
+    "shards": "shards",
+    "pin": "shard_pin",
+    "replicas": "replicas",
+    "max_replicas": "max_replicas",
+    "autoscale_p99_ms": "autoscale_target_p99_ms",
+    "admission_queue_limit": "admission_queue_limit",
+}
+
+
+def config_from_args(args):
+    """One :class:`~repro.core.config.OracleConfig` from parsed CLI flags.
+
+    Walks :data:`_CONFIG_FLAG_FIELDS`: a flag the subcommand defined (and
+    the user set or defaulted to a non-``None`` value) lands on its config
+    field; everything else keeps the dataclass default.  Every subcommand
+    builds through this instead of repeating per-flag kwargs.
+    """
     from .core.config import OracleConfig
 
-    return OracleConfig(
-        method=getattr(args, "method", "leaves_up"),
-        leaf_size=getattr(args, "leaf_size", 8),
-        kernel=getattr(args, "kernel", None),
-        executor=getattr(args, "build_backend", None) or "serial",
-        engine=getattr(args, "engine", "scheduled"),
-        cache=getattr(args, "cache", None) or "off",
-        cache_dir=getattr(args, "cache_dir", None),
-        row_cache=getattr(args, "row_cache", 0) or 0,
-        reweight=getattr(args, "reweight", None) or "auto",
-    )
+    changes = {
+        field: getattr(args, dest)
+        for dest, field in _CONFIG_FLAG_FIELDS.items()
+        if getattr(args, dest, None) is not None
+    }
+    return OracleConfig().replace(**changes)
+
+
+def _cfg_help(field: str, extra: str = "") -> str:
+    """``--help`` text for a config-mapped flag, generated from the
+    dataclass field doc (single source of truth)."""
+    from .core.config import OracleConfig
+
+    doc = OracleConfig.field_doc(field)
+    return f"{doc} {extra}".strip() if doc else extra
 
 
 def _add_cache_flags(p) -> None:
@@ -125,7 +161,7 @@ def _cmd_stats(args) -> int:
 
     rng = np.random.default_rng(args.seed)
     g, tree = _workload_from_args(args)
-    oracle = ShortestPathOracle.build(g, tree, config=_oracle_config_from_args(args))
+    oracle = ShortestPathOracle.build(g, tree, config=config_from_args(args))
     if oracle.cache_info.get("mode", "off") != "off":
         print("build cache:", oracle.cache_info)
     print("decomposition:", assess(tree).summary())
@@ -209,7 +245,7 @@ def _cmd_query(args) -> int:
 
     rng = np.random.default_rng(args.seed)
     g, tree = _workload_from_args(args)
-    cfg = _oracle_config_from_args(args).replace(executor=args.backend)
+    cfg = config_from_args(args)
     t0 = time.perf_counter()
     oracle = ShortestPathOracle.build(
         g, tree, config=cfg.replace(executor="serial")
@@ -262,7 +298,10 @@ def _cmd_serve(args) -> int:
     DESIGN.md §6) over a built — or loaded — oracle until SIGINT/SIGTERM,
     then drain and shut down gracefully.  With ``--shards K`` the serving
     engine is a :class:`~repro.shard.ShardRouter` fleet (one worker
-    process per shard; ``--pin`` adds per-worker CPU affinity)."""
+    process per shard; ``--pin`` adds per-worker CPU affinity);
+    ``--replicas N`` serves each shard through a
+    :class:`~repro.shard.ReplicaPool`, and ``--autoscale`` lets the pool
+    grow/shrink replicas against a queue-wait p99 target."""
     import asyncio
     import signal
 
@@ -270,9 +309,9 @@ def _cmd_serve(args) -> int:
     from .server import OracleServer, ServerConfig
 
     _configure_logging(args.verbose)
-    cfg = _oracle_config_from_args(args).replace(
-        executor=args.backend, shards=args.shards, shard_pin=args.pin
-    )
+    if args.autoscale_p99_ms is None and args.autoscale:
+        args.autoscale_p99_ms = DEFAULT_AUTOSCALE_P99_MS
+    cfg = config_from_args(args)
     if args.load:
         oracle = ShortestPathOracle.load(args.load)
         print(f"loaded oracle from {args.load}: n={oracle.graph.n} "
@@ -304,10 +343,15 @@ def _cmd_serve(args) -> int:
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGINT, signal.SIGTERM):
             loop.add_signal_handler(sig, server.request_shutdown)
-        mode = (
-            f"shards={args.shards} pin={args.pin}" if args.shards > 0
-            else f"backend={cfg.executor}"
-        )
+        if args.shards > 0:
+            mode = f"shards={args.shards} replicas={cfg.replicas} pin={args.pin}"
+            if cfg.autoscale_target_p99_ms > 0:
+                mode += (
+                    f" autoscale_p99={cfg.autoscale_target_p99_ms:g}ms"
+                    f" max_replicas={cfg.resolved_max_replicas}"
+                )
+        else:
+            mode = f"backend={cfg.executor}"
         print(f"serving on {server.address} "
               f"({mode} engine={cfg.engine} "
               f"max_batch={server_cfg.max_batch_rows} "
@@ -548,16 +592,23 @@ def main(argv: list[str] | None = None) -> int:
     p8.add_argument("--timeout-ms", dest="timeout_ms", type=float, default=30000.0,
                     help="default per-request timeout")
     p8.add_argument("--row-cache", dest="row_cache", type=int, default=1024,
-                    help="per-source distance-row LRU capacity (0 disables)")
+                    help=_cfg_help("row_cache"))
     p8.add_argument("--reweight", choices=["auto", "incremental", "rebuild"],
-                    default="auto",
-                    help="strategy for the reweight RPC: replay retained E+ "
-                         "provenance (incremental), full rebuild, or auto")
-    p8.add_argument("--shards", type=int, default=0,
-                    help="serve a K-shard separator fleet instead of one engine "
-                         "(one worker process per shard; 0 = single engine)")
-    p8.add_argument("--pin", action="store_true",
-                    help="pin each shard worker to one CPU (sched_setaffinity)")
+                    default="auto", help=_cfg_help("reweight"))
+    p8.add_argument("--shards", type=int, default=0, help=_cfg_help("shards"))
+    p8.add_argument("--pin", action="store_true", help=_cfg_help("shard_pin"))
+    p8.add_argument("--replicas", type=int, default=None,
+                    help=_cfg_help("replicas"))
+    p8.add_argument("--max-replicas", dest="max_replicas", type=int, default=None,
+                    help=_cfg_help("max_replicas"))
+    p8.add_argument("--autoscale", action="store_true",
+                    help="enable the hot-shard autoscaler at the default "
+                         f"{DEFAULT_AUTOSCALE_P99_MS:g} ms queue-wait p99 target")
+    p8.add_argument("--autoscale-p99-ms", dest="autoscale_p99_ms", type=float,
+                    default=None, help=_cfg_help("autoscale_target_p99_ms"))
+    p8.add_argument("--admission-queue-limit", dest="admission_queue_limit",
+                    type=int, default=None,
+                    help=_cfg_help("admission_queue_limit"))
     p8.add_argument("-v", "--verbose", action="count", default=0,
                     help="serving-path logging: -v INFO, -vv DEBUG")
     _add_cache_flags(p8)

@@ -117,8 +117,8 @@ class OracleConfig:
         Store directory override (``None`` → ``REPRO_CACHE_DIR`` or
         ``~/.cache/repro/aug``).
     row_cache:
-        Capacity (in source rows) of the :class:`~repro.core.query.
-        QueryEngine` per-source distance-row LRU; ``0`` disables it.
+        Capacity (in source rows) of the per-source distance-row LRU of
+        :class:`~repro.core.query.QueryEngine`; ``0`` disables it.
         A repeated source is answered from the cache without relaxation —
         bit-identical by determinism of both engines.
     shards:
@@ -135,6 +135,29 @@ class OracleConfig:
         Pin each shard worker process to one CPU via
         ``os.sched_setaffinity`` (process backend only), so a shard's
         pages stay on the NUMA node of the CPU that computes them.
+    replicas:
+        Worker replicas per shard for the process-backend fleet. ``1``
+        keeps one worker per shard; ``N > 1`` serves every shard through
+        a :class:`~repro.shard.replica.ReplicaPool` with least-loaded
+        chunked dispatch across N warm replicas — bit-identical results,
+        a hot shard no longer caps throughput.
+    max_replicas:
+        Autoscale ceiling on replicas per shard. ``0`` derives it
+        (``replicas`` with autoscale off, ``2 * replicas`` with it on);
+        an explicit value must be ``>= replicas``.
+    autoscale_target_p99_ms:
+        Queue-wait p99 target (milliseconds) driving the hot-shard
+        autoscaler; ``0`` disables autoscale. A shard whose recent
+        dispatch queue-wait p99 exceeds the target gains a replica
+        spawned warm from the augmentation cache (up to
+        ``max_replicas``); a shard idling far below it drain-retires an
+        extra replica with zero failed in-flight queries.
+    admission_queue_limit:
+        Admission-control cap on admitted-but-unfinished row requests at
+        the :class:`~repro.server.OracleServer`; past it (or when the
+        predicted queue wait already exceeds the request deadline) the
+        server sheds early with 429 instead of queueing into the
+        deadline. ``0`` defers to ``ServerConfig.queue_limit``.
     reweight:
         How :meth:`ShortestPathOracle.with_new_weights` refreshes E⁺:
         ``"auto"`` replays captured build provenance leaves-up when the
@@ -160,6 +183,10 @@ class OracleConfig:
     shards: int = 0
     shard_backend: str = "process"
     shard_pin: bool = False
+    replicas: int = 1
+    max_replicas: int = 0
+    autoscale_target_p99_ms: float = 0.0
+    admission_queue_limit: int = 0
     reweight: str = "auto"
 
     def __post_init__(self) -> None:
@@ -184,6 +211,25 @@ class OracleConfig:
                 f"shard_backend must be one of {_SHARD_BACKENDS}, "
                 f"got {self.shard_backend!r}"
             )
+        if int(self.replicas) < 1:
+            raise ValueError(f"replicas must be >= 1, got {self.replicas!r}")
+        if int(self.max_replicas) < 0:
+            raise ValueError(f"max_replicas must be >= 0, got {self.max_replicas!r}")
+        if self.max_replicas and int(self.max_replicas) < int(self.replicas):
+            raise ValueError(
+                f"max_replicas ({self.max_replicas}) must be >= replicas "
+                f"({self.replicas}); pass 0 to derive it"
+            )
+        if float(self.autoscale_target_p99_ms) < 0:
+            raise ValueError(
+                "autoscale_target_p99_ms must be >= 0 (0 disables autoscale), "
+                f"got {self.autoscale_target_p99_ms!r}"
+            )
+        if int(self.admission_queue_limit) < 0:
+            raise ValueError(
+                "admission_queue_limit must be >= 0 (0 defers to the server's "
+                f"queue_limit), got {self.admission_queue_limit!r}"
+            )
         if self.reweight not in _REWEIGHT_MODES:
             raise ValueError(
                 f"reweight must be one of {_REWEIGHT_MODES}, got {self.reweight!r}"
@@ -197,6 +243,54 @@ class OracleConfig:
         if isinstance(self.semiring, str):
             return SEMIRINGS[self.semiring]
         return self.semiring
+
+    @property
+    def resolved_max_replicas(self) -> int:
+        """The effective per-shard replica ceiling: ``max_replicas`` when
+        set, else ``replicas`` (autoscale off) or ``2 * replicas``
+        (autoscale on — headroom for the hot shard)."""
+        if int(self.max_replicas) > 0:
+            return int(self.max_replicas)
+        if float(self.autoscale_target_p99_ms) > 0:
+            return 2 * int(self.replicas)
+        return int(self.replicas)
+
+    @classmethod
+    def field_docs(cls) -> dict[str, str]:
+        """Per-field documentation parsed from this class's numpy-style
+        ``Attributes`` docstring section — the single source the CLI's
+        ``--help`` text is generated from (so flag help can never drift
+        from the dataclass docs)."""
+        lines = (cls.__doc__ or "").splitlines()
+        try:
+            start = (
+                next(i for i, ln in enumerate(lines) if ln.strip() == "Attributes")
+                + 2
+            )
+        except StopIteration:  # pragma: no cover - docstring always present
+            return {}
+        names = {f.name for f in dataclasses.fields(cls)}
+        docs: dict[str, list[str]] = {}
+        current: str | None = None
+        for line in lines[start:]:
+            stripped = line.strip()
+            if stripped.endswith(":") and stripped[:-1] in names:
+                current = stripped[:-1]
+                docs[current] = []
+            elif current is not None and stripped:
+                docs[current].append(stripped)
+        return {k: " ".join(v) for k, v in docs.items()}
+
+    @classmethod
+    def field_doc(cls, name: str) -> str:
+        """First sentence of :meth:`field_docs` for ``name``, stripped of
+        rst markup — sized for an ``argparse`` help string."""
+        text = cls.field_docs().get(name, "")
+        for role in (":class:", ":meth:", ":mod:", ":func:", ":data:"):
+            text = text.replace(role, "")
+        text = text.replace("``", "").replace("`~", "").replace("`", "")
+        head, _, _ = text.partition(". ")
+        return head.rstrip(".") if head else name
 
     def replace(self, **changes) -> "OracleConfig":
         """A copy with the given fields changed (frozen-friendly)."""

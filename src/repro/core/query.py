@@ -400,6 +400,12 @@ class QueryEngine:
         with self._lock:
             self._row_cache.clear()
 
+    @property
+    def weights_epoch(self) -> int:
+        """The weights epoch currently served (the augmentation's) — part
+        of the :class:`~repro.core.protocols.ServingBackend` contract."""
+        return int(getattr(self.aug, "weights_epoch", 0))
+
     def query(self, sources) -> np.ndarray:
         """Distance rows for each source: ``(s, n)``, or ``(n,)`` for a bare
         int — bit-identical to :func:`repro.core.sssp.sssp_scheduled`
@@ -480,19 +486,29 @@ class QueryEngine:
 
     def stats(self) -> dict[str, Any]:
         """Serving counters and amortization-relevant sizes (reentrant:
-        safe to call from any thread while another thread submits)."""
+        safe to call from any thread while another thread submits).
+
+        Carries the canonical :data:`~repro.core.protocols.
+        SERVING_STATS_KEYS` schema; the engine relaxes synchronously under
+        its lock, so ``queue_depth`` is 0 and ``queue_wait_ms`` is zeros —
+        queueing lives in the server and fleet tiers above it."""
+        from .protocols import serving_stats
+
         with self._lock:
             looked_up = self.row_hits + self.row_misses
-            return {
+            base = serving_stats(
+                backend=getattr(self._exe, "name", "?"),
+                workers=getattr(self._exe, "workers", 1),
+                queue_depth=0,
+                weights_epoch=int(getattr(self.aug, "weights_epoch", 0)),
+                queries_served=self.queries_served,
+                rows_served=self.rows_served,
+            )
+            base.update({
                 "engine": self.engine,
-                "backend": getattr(self._exe, "name", "?"),
-                "workers": getattr(self._exe, "workers", 1),
-                "queries_served": self.queries_served,
-                "rows_served": self.rows_served,
                 "phases": len(self._relaxers),
                 "shared_bytes": self._arena.allocated_bytes if self._arena else 0,
                 "last_batch": None if self.last_batch is None else dict(self.last_batch),
-                "weights_epoch": int(getattr(self.aug, "weights_epoch", 0)),
                 "reweights": self.reweights,
                 "row_cache": {
                     "capacity": self.row_cache_capacity,
@@ -504,7 +520,8 @@ class QueryEngine:
                     "epoch_invalidations": self.row_epoch_invalidations,
                     "rows_epoch_dropped": self.rows_epoch_dropped,
                 },
-            }
+            })
+            return base
 
     def close(self) -> None:
         """Release the shared arena (if any) and an owned pool (if any);

@@ -78,6 +78,8 @@ class ServerMetrics:
         self.requests_total = 0
         self.requests_by_op: dict[str, int] = {}
         self.shed_total = 0
+        #: sheds decided by admission control (predicted-deadline misses)
+        self.shed_early_total = 0
         self.timeout_total = 0
         self.error_total = 0
         self.batches_total = 0
@@ -104,6 +106,12 @@ class ServerMetrics:
     def record_shed(self) -> None:
         """Count one request refused by backpressure (429)."""
         self.shed_total += 1
+
+    def record_shed_early(self) -> None:
+        """Count one request shed by *admission control* — refused because
+        its predicted queue wait already exceeded its deadline, before it
+        could occupy a queue slot (a subset of :attr:`shed_total`)."""
+        self.shed_early_total += 1
 
     def record_timeout(self) -> None:
         """Count one request that timed out waiting for its batch (504)."""
@@ -164,6 +172,7 @@ class ServerMetrics:
             "requests_total": self.requests_total,
             "requests_by_op": dict(self.requests_by_op),
             "shed_total": self.shed_total,
+            "shed_early_total": self.shed_early_total,
             "timeout_total": self.timeout_total,
             "error_total": self.error_total,
             "batches_total": self.batches_total,

@@ -13,9 +13,13 @@ single-source clients cost one sharded batch, not 32 engine round trips.
 
 Operational behavior:
 
-* **backpressure** — at most ``queue_limit`` row requests may be admitted
-  and unfinished; beyond that the server sheds with a 429-style error
-  instead of queueing unboundedly;
+* **backpressure + admission control** — at most ``queue_limit`` row
+  requests (or ``OracleConfig.admission_queue_limit`` when set) may be
+  admitted and unfinished; beyond that the server sheds with a 429-style
+  error instead of queueing unboundedly.  Admission control additionally
+  sheds a request *early* when its predicted queue wait — backlogged rows
+  priced at the recent per-row batch wall — already exceeds its deadline,
+  so sustained overload degrades into fast 429s, not a convoy of 504s;
 * **timeouts** — each request waits at most ``request_timeout_ms`` (or its
   own ``timeout_ms`` field) for its batch; a late batch still completes,
   the response is a 504;
@@ -54,6 +58,7 @@ import numpy as np
 from ..core.api import ShortestPathOracle
 from ..core.config import OracleConfig
 from ..core.paths import reconstruct_path, shortest_path_tree
+from ..core.protocols import ensure_serving_backend
 from .metrics import ServerMetrics
 from .protocol import (
     BAD_REQUEST,
@@ -146,10 +151,12 @@ class OracleServer:
     engine_factory:
         Optional zero-argument callable building the serving engine; it
         replaces the default ``oracle.query_engine(config)`` and may
-        return anything speaking the engine protocol (``submit`` /
-        ``stats`` / ``close``) — in particular a
-        :class:`~repro.shard.ShardRouter` to serve a sharded fleet behind
-        the same coalescing front end.
+        return anything satisfying
+        :class:`~repro.core.protocols.ServingBackend` (checked at
+        :meth:`start`, which raises a :class:`TypeError` naming any
+        missing method) — in particular a
+        :class:`~repro.shard.ShardRouter` to serve a sharded (and
+        optionally replicated) fleet behind the same coalescing front end.
     """
 
     def __init__(
@@ -178,6 +185,12 @@ class OracleServer:
         self._batcher: asyncio.Task | None = None
         self._writers: set[asyncio.StreamWriter] = set()
         self._pending = 0
+        #: Source rows admitted and not yet answered — the work backlog
+        #: that admission control prices against each request's deadline.
+        self._pending_rows = 0
+        #: EMA of per-row batch wall time (seconds); 0 until the first
+        #: batch completes, which disables prediction-based shedding.
+        self._ema_row_s = 0.0
         self._draining = False
         self._stopped = False
         self._started = False
@@ -216,6 +229,12 @@ class OracleServer:
             lambda: self.oracle.query_engine(self.engine_config)
         )
         self.engine = await loop.run_in_executor(None, factory)
+        # Fail at startup, naming the missing method, instead of with a
+        # mid-request AttributeError on the first batch.
+        ensure_serving_backend(
+            self.engine,
+            context="engine_factory result" if self.engine_factory else "engine",
+        )
         self._batcher = asyncio.create_task(self._batch_loop())
         cfg = self.server_config
         if cfg.path is not None:
@@ -490,22 +509,46 @@ class OracleServer:
             raise ServerError(BAD_REQUEST, f"source out of range [0, {n})")
         return srcs
 
+    @property
+    def _admission_limit(self) -> int:
+        """Effective admitted-request cap: ``OracleConfig.
+        admission_queue_limit`` when set, else ``ServerConfig.queue_limit``."""
+        limit = int(getattr(self.engine_config, "admission_queue_limit", 0) or 0)
+        return limit or self.server_config.queue_limit
+
     async def _row_op(self, req_id, op: str, req: dict, t0: float) -> dict:
         if self._draining:
             raise ServerError(UNAVAILABLE, "server is shutting down")
         srcs = self._parse_sources(op, req)
-        if self._pending >= self.server_config.queue_limit:
+        limit = self._admission_limit
+        if self._pending >= limit:
             raise ServerError(
                 OVERLOADED,
-                f"queue limit {self.server_config.queue_limit} reached; retry later",
+                f"queue limit {limit} reached; retry later",
             )
+        timeout_ms = float(req.get("timeout_ms", self.server_config.request_timeout_ms))
+        # Admission control: a request whose *predicted* queue wait — rows
+        # already backlogged, priced at the recent per-row batch wall —
+        # exceeds its own deadline would only time out after consuming a
+        # queue slot.  Shed it now (429) so the queue holds only requests
+        # that can still meet their deadlines, instead of collapsing into
+        # a deadline-miss convoy under sustained overload.
+        if self._ema_row_s > 0.0:
+            eta_s = (self._pending_rows + int(srcs.shape[0])) * self._ema_row_s
+            if eta_s > timeout_ms / 1e3:
+                self.metrics.record_shed_early()
+                raise ServerError(
+                    OVERLOADED,
+                    f"admission control: predicted queue wait {eta_s * 1e3:.0f} ms "
+                    f"exceeds the {timeout_ms:.0f} ms deadline; retry later",
+                )
         loop = asyncio.get_running_loop()
         pending = _Pending(srcs, loop.create_future(), loop.time())
         self._pending += 1
+        self._pending_rows += pending.rows
         self._queue.put_nowait(pending)
-        timeout_ms = req.get("timeout_ms", self.server_config.request_timeout_ms)
         try:
-            rows = await asyncio.wait_for(pending.fut, float(timeout_ms) / 1e3)
+            rows = await asyncio.wait_for(pending.fut, timeout_ms / 1e3)
         except asyncio.TimeoutError:
             # The batch still completes server-side; only the response is
             # given up (the batcher skips done/cancelled futures).
@@ -554,6 +597,12 @@ class OracleServer:
                 "row_cache": engine_stats.get("row_cache"),
             },
             "pending": self._pending,
+            "admission": {
+                "queue_limit": self._admission_limit,
+                "pending_rows": self._pending_rows,
+                "ema_row_ms": self._ema_row_s * 1e3,
+                "shed_early_total": self.metrics.shed_early_total,
+            },
             "uptime_s": loop.time() - self._t_start,
             "config": {
                 "max_batch_rows": cfg.max_batch_rows,
@@ -626,6 +675,7 @@ class OracleServer:
                         ServerError(INTERNAL, f"batch failed: {type(exc).__name__}: {exc}")
                     )
             self._pending -= len(batch)
+            self._pending_rows -= sum(p.rows for p in batch)
             return
         off = 0
         for p in batch:
@@ -633,6 +683,13 @@ class OracleServer:
                 p.fut.set_result(dist[off : off + p.rows])
             off += p.rows
         self._pending -= len(batch)
+        self._pending_rows -= sum(p.rows for p in batch)
+        per_row_s = info["wall_s"] / max(1, int(info["rows"]))
+        self._ema_row_s = (
+            per_row_s
+            if self._ema_row_s == 0.0
+            else 0.3 * per_row_s + 0.7 * self._ema_row_s
+        )
         self.metrics.record_batch(
             len(batch), info["rows"], info["shards"], info["wall_s"], waits,
             cached_rows=info.get("cached_rows", 0),

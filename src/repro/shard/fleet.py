@@ -305,14 +305,27 @@ class ShardFleet:
         }
 
     def stats(self) -> list[dict[str, Any]]:
-        """Per-shard serving counters, annotated with process telemetry."""
+        """Per-shard serving counters, annotated with process telemetry.
+
+        Never blocks on (or restarts) a busy or crashed worker: the probe
+        is :meth:`~repro.shard.worker.WorkerHandle.try_stats`, and a worker
+        that cannot answer right now is reported at its last-known counters
+        with ``stale: true`` — so a dispatcher ranking workers by depth
+        degrades to slightly old data instead of stalling the whole
+        aggregation behind one corpse (the crash is still repaired by the
+        next query's retry path or :meth:`health_check`).
+        """
         out = []
         for h in self.handles:
-            try:
-                s = self._call_with_retry(h.shard_id, "stats")
-            except (WorkerCrash, RuntimeError):  # pragma: no cover - double crash
-                s = {"shard": h.shard_id, "error": "worker unavailable"}
+            probed = h.try_stats()
+            stale = probed is None
+            if stale:
+                s = dict(h.last_stats) if h.last_stats else {"shard": h.shard_id}
+            else:
+                s = dict(probed)  # copy: last_stats stays telemetry-free
             s.update(
+                stale=stale,
+                queue_depth=h.inflight,
                 pid=h.pid,
                 restarts=h.restarts,
                 pinned_cpu=(h.ready_info or {}).get("pinned_cpu"),

@@ -41,6 +41,7 @@ from __future__ import annotations
 import logging
 import multiprocessing
 import os
+import threading
 import time
 import traceback
 from typing import Any
@@ -196,8 +197,10 @@ class WorkerHandle:
         *,
         pin_cpu: int | None = None,
         log_level: int | None = None,
+        replica: int = 0,
     ) -> None:
         self.shard_id = int(shard_id)
+        self.replica = int(replica)
         self.tag = f"s{self.shard_id}"
         self.pin_cpu = pin_cpu
         self._payload = (graph, tree, boundary_local, config.to_dict())
@@ -210,6 +213,17 @@ class WorkerHandle:
         self.pid: int | None = None
         self.ready_info: dict[str, Any] | None = None
         self.restarts = 0
+        #: Requests sent and not yet answered — the supervisor-side queue
+        #: depth that least-loaded dispatch ranks replicas by.
+        self.inflight = 0
+        #: Last successful ``stats`` payload, kept so supervisors can
+        #: report a crashed/busy worker without blocking on its pipe.
+        self.last_stats: dict[str, Any] | None = None
+        # Serializes pipe access so a stats probe from another thread can
+        # never interleave with (and steal the response of) a query round
+        # trip; probes use a non-blocking acquire and degrade to
+        # ``last_stats`` instead of stalling behind a long relaxation.
+        self.io_lock = threading.Lock()
 
     # ---------------------------------------------------------- #
 
@@ -243,6 +257,8 @@ class WorkerHandle:
         self.process.start()
         child.close()  # parent keeps one end only
         self.pid = self.process.pid
+        self.ready_info = None
+        self.inflight = 0
 
     def set_weights(self, weight: np.ndarray, epoch: int) -> None:
         """Fold new local edge weights into the respawn payload and record
@@ -269,14 +285,70 @@ class WorkerHandle:
         """Whether the worker process is currently running."""
         return self.process is not None and self.process.is_alive()
 
+    def poll_ready(self) -> dict[str, Any] | None:
+        """Non-blocking :meth:`wait_ready`: consume the ``ready`` message if
+        it has arrived, else return ``None`` (the caller keeps serving on
+        the old capacity while the new replica warms).  Raises
+        :class:`WorkerCrash` if the worker died during its build."""
+        if self.ready_info is not None:
+            return self.ready_info
+        try:
+            if not self._conn.poll(0):
+                if not self.alive:
+                    raise WorkerCrash(
+                        f"shard {self.shard_id} worker died while warming"
+                    )
+                return None
+        except (EOFError, OSError) as exc:
+            raise WorkerCrash(
+                f"shard {self.shard_id} worker died while warming: {exc}"
+            ) from exc
+        return self.wait_ready(timeout=1.0)
+
+    def try_stats(self, timeout: float = 5.0) -> dict[str, Any] | None:
+        """Probe the worker's engine counters *without* risking the pipe.
+
+        Returns ``None`` — instead of blocking or desyncing the
+        request/response pairing — whenever the worker is dead, has a
+        response in flight, or another thread holds the pipe.  On success
+        the payload is also cached in :attr:`last_stats` so aggregators can
+        report a degraded worker at its last-known depth.
+        """
+        if not self.io_lock.acquire(blocking=False):
+            return None
+        try:
+            if not self.alive or self.inflight != 0:
+                return None
+            try:
+                self._conn.send(("stats", None))
+                # Account for the outstanding reply *before* waiting: if the
+                # wait below times out the reply is still owed, and a raised
+                # ``inflight`` both deprioritizes this handle in dispatch
+                # and makes the next probe decline instead of desyncing.
+                self.inflight += 1
+                if not self._conn.poll(timeout):  # pragma: no cover - wedged
+                    return None
+                kind, payload = self._conn.recv()
+                self.inflight -= 1
+            except (EOFError, OSError, ValueError, BrokenPipeError):
+                return None
+            if kind != "ok":
+                return None
+            self.last_stats = payload
+            return payload
+        finally:
+            self.io_lock.release()
+
     def send_request(self, op: str, arg: Any = None) -> None:
         """Issue one request without waiting (overlap across workers)."""
-        try:
-            self._conn.send((op, arg))
-        except (OSError, ValueError, BrokenPipeError) as exc:
-            raise WorkerCrash(
-                f"shard {self.shard_id} worker pipe closed on send: {exc}"
-            ) from exc
+        with self.io_lock:
+            try:
+                self._conn.send((op, arg))
+            except (OSError, ValueError, BrokenPipeError) as exc:
+                raise WorkerCrash(
+                    f"shard {self.shard_id} worker pipe closed on send: {exc}"
+                ) from exc
+            self.inflight += 1
 
     def _recv(self, timeout: float) -> tuple[str, Any]:
         try:
@@ -294,6 +366,8 @@ class WorkerHandle:
         """Collect one response; raises :class:`WorkerCrash` on a dead
         worker and :class:`RuntimeError` on a worker-side exception."""
         kind, payload = self._recv(timeout)
+        with self.io_lock:
+            self.inflight = max(0, self.inflight - 1)
         if kind == "err":
             raise RuntimeError(f"shard {self.shard_id} worker error:\n{payload}")
         return payload

@@ -15,11 +15,13 @@ import contextlib
 import json
 import socket
 import threading
+import time
 
 import numpy as np
 import pytest
 
 from repro import OracleConfig, ShortestPathOracle
+from repro.core.protocols import SERVING_STATS_KEYS, ServingBackend, serving_stats
 from repro.pram.shm import orphaned_segments
 from repro.server import OracleClient, OracleServer, ServerConfig, ServerError
 
@@ -32,12 +34,51 @@ def oracle(grid6_negative):
     return ShortestPathOracle.build(g, tree)
 
 
+class _SlowEngine:
+    """A minimal :class:`ServingBackend`: one serialized worker with a
+    fixed per-row cost.  Overload behavior built on it is reproducible on
+    any machine — the real engine is too fast on a 36-vertex graph to
+    congest a queue deterministically."""
+
+    def __init__(self, n: int, row_s: float = 0.02) -> None:
+        self.n = int(n)
+        self.row_s = float(row_s)
+        self.weights_epoch = 0
+        self._lock = threading.Lock()
+
+    def submit(self, sources):
+        rows = int(np.asarray(sources).shape[0])
+        with self._lock:
+            time.sleep(self.row_s * rows)
+        return np.zeros((rows, self.n)), {
+            "rows": rows, "shards": 1, "wall_s": self.row_s * rows,
+        }
+
+    def query(self, sources):
+        return self.submit(sources)[0]
+
+    def stats(self):
+        return serving_stats(
+            backend="slow-fake", workers=1, queue_depth=0, weights_epoch=0,
+            queries_served=0, rows_served=0,
+        )
+
+    def reweight(self, *args, **kwargs):  # pragma: no cover - never called
+        raise NotImplementedError
+
+    def close(self):
+        pass
+
+
 @contextlib.contextmanager
-def serving(oracle, tmp_path, engine_cfg=SERIAL, **server_kw):
+def serving(oracle, tmp_path, engine_cfg=SERIAL, engine_factory=None, **server_kw):
     """Run an :class:`OracleServer` on a background event loop; yield
     ``(socket path, server)``; always drain + stop on exit."""
     sock = str(tmp_path / "oracle.sock")
-    server = OracleServer(oracle, engine_cfg, ServerConfig(path=sock, **server_kw))
+    server = OracleServer(
+        oracle, engine_cfg, ServerConfig(path=sock, **server_kw),
+        engine_factory=engine_factory,
+    )
     loop = asyncio.new_event_loop()
     started = threading.Event()
 
@@ -170,6 +211,32 @@ class TestCoalescing:
             assert key in stats["server"]
         assert stats["server"]["request_latency_s"]["p99"] >= 0
 
+    def test_stats_carry_canonical_serving_schema(self, oracle, tmp_path):
+        """Satellite: one stats schema across tiers.  The served engine's
+        block carries every :data:`SERVING_STATS_KEYS` key, the old keys
+        survive as deprecated aliases, and the admission block is
+        published alongside."""
+        with serving(oracle, tmp_path) as (sock, _):
+            with OracleClient(sock) as c:
+                c.distances([0, 1])
+                stats = c.stats()
+        eng = stats["engine"]
+        for key in SERVING_STATS_KEYS:
+            assert key in eng, key
+        assert eng["backend"] == "serial"
+        assert eng["weights_epoch"] == 0
+        assert {"p50", "p99"} <= set(eng["queue_wait_ms"])
+        assert eng["rows_served"] == 2
+        # deprecated aliases kept for one release
+        assert "engine" in eng and "phases" in eng
+        adm = stats["admission"]
+        assert set(adm) == {
+            "queue_limit", "pending_rows", "ema_row_ms", "shed_early_total",
+        }
+        assert adm["queue_limit"] >= 1
+        assert adm["ema_row_ms"] > 0.0  # EMA primed by the first batch
+        assert adm["shed_early_total"] == 0
+
 
 class TestDegradation:
     def test_timeout_answers_504(self, oracle, tmp_path):
@@ -206,6 +273,132 @@ class TestDegradation:
             snap = server.metrics.snapshot()
         assert snap["shed_total"] == 1
         assert snap["requests_total"] >= 2
+
+
+class TestAdmission:
+    """Admission control (tentpole): the server sheds 429 *early* — before
+    a request can occupy a queue slot it cannot convert into an on-deadline
+    answer — and served latency stays flat under overload."""
+
+    def test_engine_factory_must_satisfy_protocol(self, oracle, tmp_path):
+        """Satellite: startup type-checks the engine and names the missing
+        methods, instead of a mid-request AttributeError."""
+
+        class NotAnEngine:
+            def submit(self, sources):  # pragma: no cover - never called
+                raise NotImplementedError
+
+            def stats(self):  # pragma: no cover - never called
+                return {}
+
+            def close(self):  # pragma: no cover - never called
+                pass
+
+        server = OracleServer(
+            oracle, SERIAL, ServerConfig(path=str(tmp_path / "bad.sock")),
+            engine_factory=NotAnEngine,
+        )
+        with pytest.raises(TypeError) as err:
+            asyncio.run(server.start())
+        msg = str(err.value)
+        assert "engine_factory result" in msg and "NotAnEngine" in msg
+        for missing in ("query", "reweight", "weights_epoch"):
+            assert missing in msg
+
+    @staticmethod
+    def _closed_loop(sock, n_clients, reqs_each):
+        """``n_clients`` blocking clients, ``reqs_each`` two-row requests
+        each; returns (served latencies [s], shed count)."""
+        latencies, sheds, errors = [], [], []
+        lock = threading.Lock()
+
+        def worker():
+            try:
+                with OracleClient(sock, timeout=30.0, retries=0) as c:
+                    for _ in range(reqs_each):
+                        t0 = time.perf_counter()
+                        try:
+                            c.distances([0, 1])
+                        except ServerError as err:
+                            assert err.code == 429, err
+                            with lock:
+                                sheds.append(1)
+                        else:
+                            with lock:
+                                latencies.append(time.perf_counter() - t0)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(120)
+        assert not errors, errors
+        return latencies, len(sheds)
+
+    def test_overload_sheds_429_and_served_p99_stays_flat(self, oracle, tmp_path):
+        """Acceptance: at ~4x capacity with ``admission_queue_limit`` set,
+        requests are shed with 429 and the p99 of *served* requests stays
+        within 1.5x the uncontended p99 (the queue never grows past what
+        fits inside a deadline)."""
+        factory = lambda: _SlowEngine(oracle.graph.n, row_s=0.02)  # noqa: E731
+        assert isinstance(factory(), ServingBackend)
+        # Uncontended baseline: as many clients as queue slots.
+        with serving(
+            oracle, tmp_path, engine_factory=factory, max_wait_us=0
+        ) as (sock, server):
+            base_lat, base_sheds = self._closed_loop(sock, n_clients=4, reqs_each=3)
+        assert base_sheds == 0 and len(base_lat) == 12
+        base_p99 = float(np.percentile(base_lat, 99))
+        # Overload: 4x the clients, queue capped at 4 admitted requests.
+        cfg = SERIAL.replace(admission_queue_limit=4)
+        with serving(
+            oracle, tmp_path, engine_cfg=cfg, engine_factory=factory, max_wait_us=0
+        ) as (sock, server):
+            over_lat, over_sheds = self._closed_loop(sock, n_clients=16, reqs_each=3)
+            snap = server.metrics.snapshot()
+        assert over_sheds > 0, "overload never shed"
+        assert snap["shed_total"] == over_sheds
+        assert over_lat, "overload served nothing"
+        over_p99 = float(np.percentile(over_lat, 99))
+        assert over_p99 <= 1.5 * base_p99, (
+            f"served p99 degraded under overload: {over_p99:.3f}s vs "
+            f"uncontended {base_p99:.3f}s"
+        )
+
+    def test_predictive_shed_beats_the_deadline(self, oracle, tmp_path):
+        """A request whose *predicted* queue wait exceeds its own deadline
+        is refused immediately (429, counted as shed_early) instead of
+        being admitted only to time out (504) after burning a slot."""
+        factory = lambda: _SlowEngine(oracle.graph.n, row_s=0.05)  # noqa: E731
+        with serving(
+            oracle, tmp_path, engine_factory=factory, max_wait_us=0
+        ) as (sock, server):
+            with OracleClient(sock, timeout=30.0) as c:
+                c.distances([0])  # primes the per-row EMA at ~50 ms/row
+            backlog = OracleClient(sock, timeout=30.0)
+            t = threading.Thread(target=lambda: backlog.distances(list(range(6))))
+            t.start()
+            for _ in range(400):  # wait until the 6-row backlog is admitted
+                if server._pending_rows >= 6:
+                    break
+                time.sleep(0.005)
+            assert server._pending_rows >= 6
+            t_shed = time.perf_counter()
+            with OracleClient(sock, timeout=0.05) as c:  # 50 ms deadline
+                with pytest.raises(ServerError) as err:
+                    c.distances([1])
+            shed_s = time.perf_counter() - t_shed
+            assert err.value.code == 429
+            assert "admission control" in str(err.value)
+            assert shed_s < 0.05, f"shed took {shed_s:.3f}s — not early"
+            t.join(30)
+            backlog.close()
+            snap = server.metrics.snapshot()
+        assert snap["shed_early_total"] >= 1
+        assert snap["shed_total"] >= snap["shed_early_total"]
+        assert snap["timeout_total"] == 0
 
 
 class TestShutdown:
