@@ -47,6 +47,8 @@ _CONFIG_FLAG_FIELDS = {
     "max_replicas": "max_replicas",
     "autoscale_p99_ms": "autoscale_target_p99_ms",
     "admission_queue_limit": "admission_queue_limit",
+    "refine": "refine_separators",
+    "refine_max_nodes": "refine_max_nodes",
 }
 
 
@@ -83,6 +85,14 @@ def _add_cache_flags(p) -> None:
                    help="augmentation store mode (content-addressed build cache)")
     p.add_argument("--cache-dir", dest="cache_dir", default=None,
                    help="store directory (default REPRO_CACHE_DIR or ~/.cache/repro/aug)")
+
+
+def _add_refine_flags(p) -> None:
+    """The shared ``--refine`` / ``--refine-max-nodes`` build flags."""
+    p.add_argument("--refine", action="store_true", default=False,
+                   help=_cfg_help("refine_separators"))
+    p.add_argument("--refine-max-nodes", dest="refine_max_nodes", type=int,
+                   default=None, help=_cfg_help("refine_max_nodes"))
 
 
 def _workload_from_args(args):
@@ -530,6 +540,7 @@ def main(argv: list[str] | None = None) -> int:
     p3.add_argument("--leaf-size", dest="leaf_size", type=int, default=8)
     p3.add_argument("--seed", type=int, default=0)
     _add_cache_flags(p3)
+    _add_refine_flags(p3)
     p3.set_defaults(fn=_cmd_stats)
 
     p4 = sub.add_parser("table1", help="quick Table-1 sweep (grids, or any μ with --mu)")
@@ -561,6 +572,7 @@ def main(argv: list[str] | None = None) -> int:
     p7.add_argument("--check", action="store_true",
                     help="verify the first batch bit-equals a serial pass")
     _add_cache_flags(p7)
+    _add_refine_flags(p7)
     p7.set_defaults(fn=_cmd_query)
 
     p8 = sub.add_parser("serve", help="run the async coalescing query server")
@@ -612,6 +624,7 @@ def main(argv: list[str] | None = None) -> int:
     p8.add_argument("-v", "--verbose", action="count", default=0,
                     help="serving-path logging: -v INFO, -vv DEBUG")
     _add_cache_flags(p8)
+    _add_refine_flags(p8)
     p8.set_defaults(fn=_cmd_serve)
 
     p10 = sub.add_parser(

@@ -48,27 +48,9 @@ def _resolve_tree(
         return tree
     if callable(separator):
         return build_separator_tree(graph, separator, leaf_size=leaf_size)
-    if separator in (None, "auto", "spectral"):
-        from ..separators.spectral import decompose_spectral
+    from ..separators import decompose
 
-        return decompose_spectral(graph, leaf_size=leaf_size)
-    if separator == "planar":
-        from ..separators.planar import decompose_planar
-
-        return decompose_planar(graph, leaf_size=leaf_size)
-    if separator == "treewidth":
-        from ..separators.treewidth import decompose_treewidth
-
-        return decompose_treewidth(graph, leaf_size=leaf_size)
-    if separator == "multilevel":
-        from ..separators.multilevel import decompose_multilevel
-
-        return decompose_multilevel(graph, leaf_size=leaf_size)
-    if separator == "lipton_tarjan":
-        from ..separators.lipton_tarjan import decompose_lipton_tarjan
-
-        return decompose_lipton_tarjan(graph, leaf_size=leaf_size)
-    raise ValueError(f"unknown separator spec {separator!r}")
+    return decompose(graph, separator, leaf_size=leaf_size)
 
 
 def _is_shm_spec(executor) -> bool:
@@ -183,7 +165,14 @@ class ShortestPathOracle:
             cache_dir=cache_dir,
         )
         ledger = Ledger()
+        given_tree = tree is not None
         tree = _resolve_tree(graph, tree, cfg.separator, cfg.leaf_size)
+        # Post-pass flow refinement — applies to supplied trees too; skipped
+        # when separator="flow" just built an already-refined tree.
+        if cfg.refine_separators and (given_tree or cfg.separator != "flow"):
+            from ..separators.flow import refine_tree
+
+            tree, _ = refine_tree(graph, tree, max_nodes=cfg.refine_max_nodes)
         cache_info: dict = {"mode": cfg.cache, "status": "off"}
         store = key = lock = None
         if cfg.cache != "off":

@@ -154,7 +154,9 @@ class Augmentation:
         return src, dst, w, is_aug
 
     def stats(self) -> dict[str, float]:
-        """Size/bound summary of the augmentation."""
+        """Size/bound summary of the augmentation (plus the separator
+        quality of the tree it was built from — see
+        :meth:`~repro.core.septree.SeparatorTree.separator_stats`)."""
         return {
             "n": self.graph.n,
             "m": self.graph.m,
@@ -163,6 +165,7 @@ class Augmentation:
             "ell": self.ell,
             "diameter_bound": self.diameter_bound,
             "method": self.method,
+            "separators": self.tree.separator_stats(),
         }
 
     def verify_edges(

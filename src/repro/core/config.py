@@ -84,7 +84,8 @@ class OracleConfig:
     separator:
         Decomposition engine when no tree is supplied: ``"auto"`` /
         ``"spectral"``, ``"planar"``, ``"treewidth"``, ``"multilevel"``,
-        ``"lipton_tarjan"``, or a callable separator oracle.
+        ``"lipton_tarjan"``, ``"flow"`` (max-flow refinement of the best
+        first-pass engine), or a callable separator oracle.
     semiring:
         A :class:`~repro.core.semiring.Semiring` or its registry name
         (``"min_plus"``, ``"boolean"``, …); names keep the config
@@ -158,6 +159,18 @@ class OracleConfig:
         predicted queue wait already exceeds the request deadline) the
         server sheds early with 429 instead of queueing into the
         deadline. ``0`` defers to ``ServerConfig.queue_limit``.
+    refine_separators:
+        Post-pass flow refinement of the separator tree: after the tree is
+        resolved (built *or* supplied), re-solve every node's cut as a
+        minimum vertex cut (:mod:`repro.separators.flow`), falling back
+        per-node/per-tree whenever balance or validity would suffer.
+        Smaller |S(t)| compounds through |E⁺|, the shard spine, and every
+        query; costs extra build time. No-op when ``separator="flow"``
+        already refined the tree.
+    refine_max_nodes:
+        Guardrail for the refiner: tree nodes whose subgraph exceeds this
+        many vertices keep their unrefined cut, bounding the extra
+        preprocessing the flow solver may spend.
     reweight:
         How :meth:`ShortestPathOracle.with_new_weights` refreshes E⁺:
         ``"auto"`` replays captured build provenance leaves-up when the
@@ -187,6 +200,8 @@ class OracleConfig:
     max_replicas: int = 0
     autoscale_target_p99_ms: float = 0.0
     admission_queue_limit: int = 0
+    refine_separators: bool = False
+    refine_max_nodes: int = 20_000
     reweight: str = "auto"
 
     def __post_init__(self) -> None:
@@ -229,6 +244,10 @@ class OracleConfig:
             raise ValueError(
                 "admission_queue_limit must be >= 0 (0 defers to the server's "
                 f"queue_limit), got {self.admission_queue_limit!r}"
+            )
+        if int(self.refine_max_nodes) < 1:
+            raise ValueError(
+                f"refine_max_nodes must be >= 1, got {self.refine_max_nodes!r}"
             )
         if self.reweight not in _REWEIGHT_MODES:
             raise ValueError(

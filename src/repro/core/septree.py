@@ -105,6 +105,8 @@ class SeparatorTree:
         self.nodes: list[SepTreeNode] = list(nodes)
         self.n = int(n)
         self.height: int = max(t.level for t in self.nodes)
+        #: Stats record left by the flow refinement pass (None = unrefined).
+        self.refinement: dict | None = None
         self.vertex_level = np.full(n, -1, dtype=np.int64)
         self.vertex_node = np.full(n, -1, dtype=np.int64)
         # Scan top-down (nodes are created parent-before-child) so the first
@@ -158,6 +160,36 @@ class SeparatorTree:
     def total_label_size(self) -> int:
         """Σ_t |V(t)| — the storage the decomposition itself occupies."""
         return sum(t.size for t in self.nodes)
+
+    def separator_stats(self) -> dict:
+        """JSON-safe separator-quality summary: per-level |S| histogram,
+        achieved balance α (worst and mean child/parent vertex ratio over
+        internal nodes), separator totals, and — when the tree went through
+        the flow refiner — the refinement delta record."""
+        per_level: dict[str, dict] = {}
+        ratios: list[float] = []
+        for t in self.nodes:
+            if t.is_leaf:
+                continue
+            lvl = per_level.setdefault(
+                str(t.level), {"nodes": 0, "sep_total": 0, "sep_max": 0}
+            )
+            lvl["nodes"] += 1
+            s = int(t.separator.shape[0])
+            lvl["sep_total"] += s
+            lvl["sep_max"] = max(lvl["sep_max"], s)
+            for c in t.children:
+                ratios.append(self.nodes[c].size / t.size)
+        sizes = self.separator_sizes()
+        return {
+            "levels": per_level,
+            "sep_total": int(sizes.sum()) if sizes.size else 0,
+            "sep_max": int(sizes.max()) if sizes.size else 0,
+            "internal_nodes": int(sizes.shape[0]),
+            "balance_worst": float(max(ratios)) if ratios else 0.0,
+            "balance_mean": float(np.mean(ratios)) if ratios else 0.0,
+            "refinement": self.refinement,
+        }
 
     # -------------------------------------------------------------- #
     # Validation (Proposition 2.1 and construction invariants)

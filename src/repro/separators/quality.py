@@ -12,9 +12,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.digraph import WeightedDigraph
 from ..core.septree import SeparatorTree
 
-__all__ = ["DecompositionQuality", "assess"]
+__all__ = ["DecompositionQuality", "assess", "best_first_pass", "eplus_score"]
 
 
 @dataclass(frozen=True)
@@ -70,3 +71,43 @@ def assess(tree: SeparatorTree) -> DecompositionQuality:
         worst_balance=float(max(balances)) if balances else 0.0,
         height_over_log2n=tree.height / log2n,
     )
+
+
+def eplus_score(tree: SeparatorTree) -> int:
+    """Σ_t (|S(t)|² + |B(t)|²) — the clique terms of |E⁺| (§3.2:
+    E_t = B(t)×B(t) ∪ S(t)×S(t)), the cost the flow refiner exists to
+    shrink.  A cheap tree-only proxy for the real |E⁺|; lower is better."""
+    return int(
+        sum(
+            int(t.separator.shape[0]) ** 2 + int(t.boundary.shape[0]) ** 2
+            for t in tree.nodes
+        )
+    )
+
+
+def best_first_pass(
+    graph: WeightedDigraph,
+    *,
+    leaf_size: int = 8,
+    engines: tuple[str, ...] = ("spectral", "multilevel"),
+) -> tuple[str, SeparatorTree]:
+    """Build one tree per candidate engine and keep the cheapest by
+    :func:`eplus_score`.  Engines that fail on this graph are skipped; if
+    every candidate fails, the last error propagates."""
+    from . import decompose
+
+    best: tuple[str, SeparatorTree] | None = None
+    best_score = 0
+    last_error: Exception | None = None
+    for name in engines:
+        try:
+            tree = decompose(graph, name, leaf_size=leaf_size)
+        except Exception as exc:  # noqa: BLE001 — any engine may reject a family
+            last_error = exc
+            continue
+        score = eplus_score(tree)
+        if best is None or score < best_score:
+            best, best_score = (name, tree), score
+    if best is None:
+        raise last_error if last_error is not None else ValueError("no engines given")
+    return best

@@ -591,6 +591,7 @@ class OracleServer:
             "server": self.metrics.snapshot(),
             "engine": engine_stats,
             "graph": {"n": int(self._graph.n), "m": int(self._graph.m)},
+            "separators": self.oracle.tree.separator_stats(),
             "cache": {
                 "build": dict(self.oracle.cache_info),
                 "row_hit_rate": self.metrics.row_cache_hit_rate,

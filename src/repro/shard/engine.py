@@ -32,8 +32,10 @@ def shard_build_config(config: OracleConfig | None) -> OracleConfig:
     is *across* shard processes, not within one), never keep per-node
     matrices, and never re-validate the already-validated decomposition;
     the fleet-level shard knobs are zeroed so a shard cannot recursively
-    shard itself.  Cache mode/dir pass through — that is what makes
-    respawn warm.
+    shard itself, and separator refinement is zeroed too (the shard's
+    subtree was cut from the fleet tree, which was refined — or not — at
+    partition time; re-refining per shard would desynchronize the spine).
+    Cache mode/dir pass through — that is what makes respawn warm.
     """
     cfg = config if config is not None else OracleConfig()
     return cfg.replace(
@@ -43,6 +45,7 @@ def shard_build_config(config: OracleConfig | None) -> OracleConfig:
         row_cache=0,
         shards=0,
         shard_pin=False,
+        refine_separators=False,
     )
 
 
