@@ -1,0 +1,137 @@
+"""Hopset mode — the subsystem's two headline claims on a non-separable
+digraph: (i) approximate preprocessing is ≥ 3× cheaper than exact E⁺
+construction (on an expander it is orders of magnitude — E⁺ densifies
+toward n² while |H| stays near-linear), and (ii) every served distance
+obeys d ≤ d̂ ≤ (1+ε)·d.  Results accumulate in ``BENCH_hopset.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.api import ShortestPathOracle
+from repro.hopset import build_hopset
+from repro.kernels.bellman_ford import bellman_ford
+from repro.workloads.generators import expander_digraph
+
+#: Acceptance gates: the approximate build must beat the exact build by at
+#: least this wall-clock factor on the seeded dense digraph, and no served
+#: distance may exceed (1+ε)·d.
+SPEEDUP_BOUND = 3.0
+BENCH_N = 220
+BENCH_DEGREE = 6
+BENCH_EPS = 0.1
+BENCH_SOURCES = 8
+SEED = 2026
+
+
+def _record_json(results_dir, key: str, record: dict) -> None:
+    """Merge one experiment record into ``BENCH_hopset.json`` (atomic
+    temp+rename — a crashed run must not truncate accumulated results)."""
+    path = results_dir / "BENCH_hopset.json"
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data[key] = record
+    tmp = path.parent / f"{path.name}.tmp-{os.getpid()}"
+    tmp.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+def _max_rel_error(oracle, g, sources) -> float:
+    """max over sampled pairs of d̂/d − 1 (asserting soundness d̂ ≥ d)."""
+    approx = oracle.distances(sources)
+    exact = bellman_ford(g, sources)
+    assert (np.isinf(exact) == np.isinf(approx)).all()
+    fin = np.isfinite(exact)
+    assert (approx[fin] >= exact[fin] - 1e-9).all(), "d̂ underestimated d"
+    pos = fin & (exact > 0)
+    return float(np.max(approx[pos] / exact[pos] - 1.0)) if pos.any() else 0.0
+
+
+def test_hopset_build_speedup_and_error(benchmark, report, results_dir):
+    """The acceptance gate: on a seeded expander (no sublinear separator
+    exists, E⁺ blows up), ``mode='approx'`` preprocessing is ≥ 3× faster
+    than the exact build and the served error never exceeds ε."""
+    rng = np.random.default_rng(SEED)
+    g = expander_digraph(BENCH_N, rng, degree=BENCH_DEGREE)
+    t0 = time.perf_counter()
+    exact_oracle = ShortestPathOracle.build(g, mode="exact")
+    exact_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    approx_oracle = ShortestPathOracle.build(g, mode="approx", eps=BENCH_EPS)
+    approx_s = time.perf_counter() - t0
+    speedup = exact_s / max(approx_s, 1e-9)
+    sources = rng.choice(g.n, size=BENCH_SOURCES, replace=False)
+    max_err = _max_rel_error(approx_oracle, g, sources)
+    hs = approx_oracle.augmentation.hopset
+    table = render_table(
+        ["build", "wall s", "|aug|", "max rel err"],
+        [
+            ["exact E⁺", round(exact_s, 3), exact_oracle.augmentation.size, 0.0],
+            ["hopset (ε=0.1)", round(approx_s, 3), approx_oracle.augmentation.size,
+             round(max_err, 6)],
+        ],
+        title=(
+            f"Hopset vs exact on expander n={g.n} m={g.m}: "
+            f"{speedup:.1f}× faster build, max err {max_err:.2%} ≤ ε"
+        ),
+    )
+    report("hopset-speedup", table)
+    _record_json(results_dir, "build_speedup", {
+        "n": int(g.n),
+        "m": int(g.m),
+        "degree": BENCH_DEGREE,
+        "eps": BENCH_EPS,
+        "seed": SEED,
+        "exact_build_s": exact_s,
+        "approx_build_s": approx_s,
+        "speedup": speedup,
+        "speedup_bound": SPEEDUP_BOUND,
+        "eplus_exact": int(exact_oracle.augmentation.size),
+        "hopset_edges": int(approx_oracle.augmentation.size),
+        "hop_cap": int(hs.hop_cap),
+        "scales": len(hs.pivots),
+        "max_rel_error": max_err,
+        "sources_checked": int(BENCH_SOURCES),
+    })
+    assert speedup >= SPEEDUP_BOUND, (
+        f"approx build only {speedup:.2f}× faster than exact "
+        f"(bound {SPEEDUP_BOUND}×)"
+    )
+    assert max_err <= BENCH_EPS + 1e-9, (
+        f"max relative error {max_err:.4f} exceeds ε={BENCH_EPS}"
+    )
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.extra_info["max_rel_error"] = max_err
+    benchmark(lambda: build_hopset(g, eps=BENCH_EPS, seed=SEED).size)
+
+
+@pytest.mark.parametrize("eps", [0.5, 0.1, 0.02])
+def test_hopset_error_vs_eps(report, results_dir, eps):
+    """ε sweep: the observed error stays under the knob at every setting.
+    |H| is ε-independent (shortcuts dedupe per (u,v) pair; ε only rounds
+    their weights), so the knob trades accuracy for nothing but rounding
+    slack — worth recording because it makes small ε essentially free
+    here."""
+    rng = np.random.default_rng(SEED + 1)
+    g = expander_digraph(160, rng, degree=5)
+    oracle = ShortestPathOracle.build(g, mode="approx", eps=eps)
+    sources = rng.choice(g.n, size=4, replace=False)
+    max_err = _max_rel_error(oracle, g, sources)
+    _record_json(results_dir, f"error_eps{eps:g}", {
+        "n": int(g.n),
+        "eps": eps,
+        "hopset_edges": int(oracle.augmentation.size),
+        "max_rel_error": max_err,
+    })
+    report(
+        f"hopset-error-eps{eps:g}",
+        f"expander n={g.n}: eps={eps:g} → max rel err {max_err:.4%}, "
+        f"|H| = {oracle.augmentation.size}\n",
+    )
+    assert max_err <= eps + 1e-9

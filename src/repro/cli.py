@@ -49,6 +49,10 @@ _CONFIG_FLAG_FIELDS = {
     "admission_queue_limit": "admission_queue_limit",
     "refine": "refine_separators",
     "refine_max_nodes": "refine_max_nodes",
+    "mode": "mode",
+    "eps": "eps",
+    "hopset_beta": "hopset_beta",
+    "approx_gate": "approx_gate",
 }
 
 
@@ -95,17 +99,35 @@ def _add_refine_flags(p) -> None:
                    default=None, help=_cfg_help("refine_max_nodes"))
 
 
+def _add_mode_flags(p) -> None:
+    """The shared exact/approx mode flags (``--mode``/``--eps``/…).  ``--mode``
+    deliberately has no argparse ``choices``: an unknown name reaches
+    :class:`~repro.core.config.OracleConfig` and raises its mode error,
+    which names every valid mode and how each is selected."""
+    p.add_argument("--mode", default=None, help=_cfg_help("mode"))
+    p.add_argument("--eps", type=float, default=None, help=_cfg_help("eps"))
+    p.add_argument("--hopset-beta", dest="hopset_beta", type=int, default=None,
+                   help=_cfg_help("hopset_beta"))
+    p.add_argument("--approx-gate", dest="approx_gate", type=float, default=None,
+                   help=_cfg_help("approx_gate"))
+
+
 def _workload_from_args(args):
     """``(graph, tree)`` for the shared ``--family/--n/--leaf-size/--seed``
     flags (tree is ``None`` for families that self-decompose in build)."""
     from .separators.grid import decompose_grid
-    from .workloads.generators import delaunay_digraph, grid_digraph
+    from .workloads.generators import delaunay_digraph, expander_digraph, grid_digraph
 
     rng = np.random.default_rng(args.seed)
     if args.family == "grid":
         side = int(round(np.sqrt(args.n)))
         g = grid_digraph((side, side), rng)
         tree = decompose_grid(g, (side, side), leaf_size=args.leaf_size)
+    elif args.family == "expander":
+        # No sublinear separator exists here — pair with --mode approx (or
+        # auto, which gates to the hopset on the poor separability score).
+        g = expander_digraph(args.n, rng)
+        tree = None
     else:
         g, _ = delaunay_digraph(args.n, rng)
         from .separators.planar import decompose_planar
@@ -174,8 +196,16 @@ def _cmd_stats(args) -> int:
     oracle = ShortestPathOracle.build(g, tree, config=config_from_args(args))
     if oracle.cache_info.get("mode", "off") != "off":
         print("build cache:", oracle.cache_info)
-    print("decomposition:", assess(tree).summary())
-    for k, v in oracle.stats().items():
+    if tree is not None:
+        print("decomposition:", assess(tree).summary())
+    s = oracle.stats()
+    hs = s.get("hopset")
+    summary = f"mode={s.get('mode', 'exact')}"
+    if hs is not None:
+        summary += (f" eps={s.get('eps')} hopset_edges={hs.get('edges')} "
+                    f"hop_cap={hs.get('hop_cap')} scales={hs.get('scales')}")
+    print("oracle:", summary)
+    for k, v in s.items():
         print(f"  {k}: {v}")
     srcs = rng.integers(0, g.n, size=args.sources)
     d = oracle.distances(srcs)
@@ -530,7 +560,8 @@ def main(argv: list[str] | None = None) -> int:
     p2.set_defaults(fn=_cmd_fig2)
 
     p3 = sub.add_parser("stats", help="oracle statistics on a workload")
-    p3.add_argument("--family", choices=["grid", "delaunay"], default="grid")
+    p3.add_argument("--family", choices=["grid", "delaunay", "expander"],
+                    default="grid")
     p3.add_argument("--n", type=int, default=1024)
     p3.add_argument("--sources", type=int, default=4)
     p3.add_argument("--method", choices=["leaves_up", "doubling"], default="leaves_up")
@@ -541,6 +572,7 @@ def main(argv: list[str] | None = None) -> int:
     p3.add_argument("--seed", type=int, default=0)
     _add_cache_flags(p3)
     _add_refine_flags(p3)
+    _add_mode_flags(p3)
     p3.set_defaults(fn=_cmd_stats)
 
     p4 = sub.add_parser("table1", help="quick Table-1 sweep (grids, or any μ with --mu)")
@@ -554,7 +586,8 @@ def main(argv: list[str] | None = None) -> int:
     p4.set_defaults(fn=_cmd_table1)
 
     p7 = sub.add_parser("query", help="serve batched queries via the persistent engine")
-    p7.add_argument("--family", choices=["grid", "delaunay"], default="grid")
+    p7.add_argument("--family", choices=["grid", "delaunay", "expander"],
+                    default="grid")
     p7.add_argument("--n", type=int, default=1024)
     p7.add_argument("--sources", type=int, default=64, help="sources per batch")
     p7.add_argument("--batches", type=int, default=4)
@@ -573,6 +606,7 @@ def main(argv: list[str] | None = None) -> int:
                     help="verify the first batch bit-equals a serial pass")
     _add_cache_flags(p7)
     _add_refine_flags(p7)
+    _add_mode_flags(p7)
     p7.set_defaults(fn=_cmd_query)
 
     p8 = sub.add_parser("serve", help="run the async coalescing query server")
@@ -582,7 +616,8 @@ def main(argv: list[str] | None = None) -> int:
     p8.add_argument("--port", type=int, default=7470)
     p8.add_argument("--load", default=None,
                     help="serve an oracle persisted with ShortestPathOracle.save")
-    p8.add_argument("--family", choices=["grid", "delaunay"], default="grid")
+    p8.add_argument("--family", choices=["grid", "delaunay", "expander"],
+                    default="grid")
     p8.add_argument("--n", type=int, default=1024)
     p8.add_argument("--method",
                     choices=["leaves_up", "doubling", "doubling_shared"],
@@ -625,6 +660,7 @@ def main(argv: list[str] | None = None) -> int:
                     help="serving-path logging: -v INFO, -vv DEBUG")
     _add_cache_flags(p8)
     _add_refine_flags(p8)
+    _add_mode_flags(p8)
     p8.set_defaults(fn=_cmd_serve)
 
     p10 = sub.add_parser(

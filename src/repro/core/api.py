@@ -114,6 +114,9 @@ class ShortestPathOracle:
         kernel: str | None = UNSET,
         cache: str = UNSET,
         cache_dir: str | None = UNSET,
+        mode: str = UNSET,
+        eps: float = UNSET,
+        hopset_beta: int = UNSET,
     ) -> "ShortestPathOracle":
         """Run the full preprocessing pipeline.
 
@@ -163,7 +166,62 @@ class ShortestPathOracle:
             kernel=kernel,
             cache=cache,
             cache_dir=cache_dir,
+            mode=mode,
+            eps=eps,
+            hopset_beta=hopset_beta,
         )
+        # Distance-fidelity dispatch (the hopset subsystem, repro.hopset):
+        # "approx" skips the separator machinery entirely; "auto" scores the
+        # best first-pass tree and gates on cfg.approx_gate; "exact" (the
+        # default) is the historical path, bit-for-bit.
+        if cfg.mode == "approx":
+            return cls._build_approx(
+                graph, cfg,
+                decision={"mode": "approx", "why": "mode='approx' requested"},
+            )
+        if cfg.mode == "auto":
+            from ..separators.quality import separability_score
+
+            if tree is None:
+                from ..separators.quality import best_first_pass
+
+                try:
+                    _, tree = best_first_pass(graph, leaf_size=cfg.leaf_size)
+                except Exception as exc:  # noqa: BLE001 — any engine may reject
+                    return cls._build_approx(
+                        graph, cfg,
+                        decision={
+                            "mode": "approx",
+                            "gate": cfg.approx_gate,
+                            "why": (
+                                "every first-pass separator engine failed "
+                                f"({type(exc).__name__}: {exc})"
+                            ),
+                        },
+                    )
+            score = separability_score(tree)
+            decision = {"gate": cfg.approx_gate, "separability": score}
+            if tree.selection is not None:
+                decision["candidates"] = tree.selection.get("candidates")
+            if score < cfg.approx_gate:
+                decision.update(
+                    mode="approx",
+                    why=(
+                        f"separability {score:.3f} below gate "
+                        f"{cfg.approx_gate:g}: building a (1+eps) hopset"
+                    ),
+                )
+                return cls._build_approx(graph, cfg, decision=decision)
+            decision.update(
+                mode="exact",
+                why=(
+                    f"separability {score:.3f} at or above gate "
+                    f"{cfg.approx_gate:g}: building exact E⁺"
+                ),
+            )
+            sel = dict(tree.selection or {})
+            sel["mode_decision"] = decision
+            tree.selection = sel
         ledger = Ledger()
         given_tree = tree is not None
         tree = _resolve_tree(graph, tree, cfg.separator, cfg.leaf_size)
@@ -267,6 +325,85 @@ class ShortestPathOracle:
         oracle.cache_info = cache_info
         return oracle
 
+    @classmethod
+    def _build_approx(
+        cls, graph: WeightedDigraph, cfg: OracleConfig, *, decision: dict | None = None
+    ) -> "ShortestPathOracle":
+        """The hopset build path (``mode="approx"``, or ``mode="auto"``
+        below the gate): construct a ``(1+eps)`` hopset instead of E⁺, hang
+        it off the trivial one-leaf tree, and serve through the same
+        oracle/engine machinery.  Hopset artifacts are cached exactly like
+        augmentations, under keys that fold in ``mode``/``eps``/``beta``
+        (so they can never collide with exact entries)."""
+        from ..hopset import HopsetAugmentation, build_hopset, trivial_tree
+
+        ledger = Ledger()
+        tree = trivial_tree(graph.n)
+        if decision is not None:
+            tree.selection = {"mode_decision": decision}
+        semiring = cfg.resolved_semiring
+        cache_info: dict = {"mode": cfg.cache, "status": "off"}
+        store = key = lock = None
+        if cfg.cache != "off":
+            from ..cache import AugmentationCache, augmentation_key
+
+            store = AugmentationCache(cfg.cache_dir)
+            key = augmentation_key(
+                graph, tree, semiring, "hopset",
+                mode="approx", eps=cfg.eps, hopset_beta=cfg.hopset_beta,
+            )
+            cache_info.update(key=key, dir=str(store.dir), status="miss")
+            t0 = time.perf_counter()
+            oracle = cls._from_cache(store, key, graph, tree, cfg, cache_info)
+            if oracle is None and cfg.cache == "readwrite":
+                lock = store.try_lock(key)
+                if lock is None and store.wait_for_entry(key):
+                    oracle = cls._from_cache(store, key, graph, tree, cfg, cache_info)
+            if oracle is not None:
+                if lock is not None:
+                    lock.release()
+                cache_info["load_s"] = time.perf_counter() - t0
+                if decision is not None and oracle.tree.selection is None:
+                    oracle.tree.selection = {"mode_decision": decision}
+                return oracle
+        try:
+            hopset = build_hopset(
+                graph, semiring,
+                eps=cfg.eps, beta=cfg.hopset_beta, kernel=cfg.kernel,
+            )
+            ledger.charge(
+                work=float(sum(b * p.shape[0] for b, p in zip(hopset.budgets, hopset.pivots)))
+                * max(1, graph.m),
+                depth=float(max(hopset.budgets, default=1)),
+                label="hopset-balls",
+            )
+            aug = HopsetAugmentation(
+                graph=graph,
+                tree=tree,
+                semiring=semiring,
+                src=hopset.src,
+                dst=hopset.dst,
+                weight=hopset.weight,
+                leaf_diameters={},
+                node_distances={},
+                method="hopset",
+                hopset=hopset,
+            )
+            aug.kernel = cfg.kernel
+            oracle = cls(
+                graph, tree, aug, aug.schedule(), preprocess_ledger=ledger, config=cfg
+            )
+            if store is not None and cfg.cache == "readwrite":
+                t0 = time.perf_counter()
+                wrote = store.store(key, aug, config=cfg, validated=False)
+                cache_info["status"] = "stored" if wrote else "miss"
+                cache_info["store_s"] = time.perf_counter() - t0
+            oracle.cache_info = cache_info
+            return oracle
+        finally:
+            if lock is not None:
+                lock.release()
+
     # -------------------------------------------------------------- #
     # Queries
     # -------------------------------------------------------------- #
@@ -330,6 +467,10 @@ class ShortestPathOracle:
             cfg = resolve_config(
                 config, executor=executor, engine=engine, source_block=source_block
             )
+        if self.augmentation.method == "hopset":
+            from ..hopset import ApproxEngine
+
+            return ApproxEngine(self.augmentation, cfg)
         return QueryEngine(self.augmentation, cfg)
 
     def shard_fleet(
@@ -359,6 +500,13 @@ class ShortestPathOracle:
         """
         from ..shard import ShardRouter
 
+        if self.augmentation.method == "hopset":
+            raise ValueError(
+                "shard_fleet() cuts the separator tree into shard subtrees, "
+                "but a hopset oracle has no separator decomposition (that is "
+                "why it exists); serve it with query_engine() — the server's "
+                "replica tier still scales it out"
+            )
         cfg = config if config is not None else self.config
         return ShardRouter(
             self.graph, self.tree, cfg,
@@ -492,6 +640,8 @@ class ShortestPathOracle:
             raise ValueError(f"reweight must be auto/incremental/rebuild, got {mode!r}")
         if validate is None:
             validate = self.config.validate
+        if self.augmentation.method == "hopset":
+            return self._reweight_hopset(graph, mode, validate)
         method = self.augmentation.method
         if method not in ("leaves_up", "doubling", "doubling_shared"):
             method = "leaves_up"
@@ -580,6 +730,72 @@ class ShortestPathOracle:
         oracle._reweight_plan = plan
         return oracle
 
+    def _reweight_hopset(
+        self, graph: WeightedDigraph, mode: str, validate
+    ) -> "ShortestPathOracle":
+        """The rebuild-or-replay decision for a hopset lineage.
+
+        With an unchanged edge skeleton, ``"auto"``/``"incremental"``
+        *replay* the prior construction — same pivot sample, same scale
+        budgets, only the hop-limited balls re-run over the new weights —
+        so the approximation structure (and the cacheable identity of the
+        artifact) is stable across the reweighting lineage.  A changed
+        skeleton (or ``"rebuild"``) resamples from scratch.
+        """
+        from ..hopset import HopsetAugmentation, build_hopset, replay_hopset
+
+        cfg = self.config
+        prior = getattr(self.augmentation, "hopset", None)
+        same_skeleton = (
+            graph.m == self.graph.m
+            and np.array_equal(graph.src, self.graph.src)
+            and np.array_equal(graph.dst, self.graph.dst)
+        )
+        if mode == "incremental" and not (same_skeleton and prior is not None):
+            raise ValueError(
+                "reweight='incremental' on a hopset oracle needs an unchanged "
+                "edge skeleton (same src/dst arrays) and a recorded pivot "
+                "sample; pass reweight='auto' to fall back to a resample"
+            )
+        if mode != "rebuild" and same_skeleton and prior is not None:
+            hopset = replay_hopset(
+                graph, prior, semiring=self.semiring, kernel=cfg.kernel
+            )
+            status = "reweight"
+        else:
+            hopset = build_hopset(
+                graph, self.semiring,
+                eps=cfg.eps, beta=cfg.hopset_beta, kernel=cfg.kernel,
+            )
+            status = "rebuild"
+        aug = HopsetAugmentation(
+            graph=graph,
+            tree=self.tree,
+            semiring=self.semiring,
+            src=hopset.src,
+            dst=hopset.dst,
+            weight=hopset.weight,
+            leaf_diameters={},
+            node_distances={},
+            method="hopset",
+            hopset=hopset,
+        )
+        aug.kernel = cfg.kernel
+        aug.weights_epoch = self.augmentation.weights_epoch + 1
+        if validate:
+            dev = aug.verify_edges()
+            if dev > 1e-9:
+                raise AssertionError(
+                    f"replayed hopset shortcuts underestimate ground-truth "
+                    f"distances by {dev!r}"
+                )
+        oracle = ShortestPathOracle(
+            graph, self.tree, aug, aug.schedule(),
+            preprocess_ledger=Ledger(), config=cfg,
+        )
+        oracle.cache_info = {"mode": cfg.cache, "status": status}
+        return oracle
+
     def path(self, u: int, v: int) -> list[int] | None:
         """An explicit minimum-weight ``u→v`` path (original edges only)."""
         parent = self.shortest_path_tree(u)
@@ -592,6 +808,7 @@ class ShortestPathOracle:
     def stats(self) -> dict:
         """Key pipeline numbers: sizes, bounds, ledger work/depth."""
         s = self.augmentation.stats()
+        s.setdefault("mode", "exact")
         s.update(
             preprocess_work=self.preprocess_ledger.work,
             preprocess_depth=self.preprocess_ledger.depth,
@@ -623,20 +840,26 @@ class ShortestPathOracle:
         from ..io import load_augmentation
 
         aug, meta = load_augmentation(path, with_meta=True)
-        method = aug.method
-        if method not in ("leaves_up", "doubling", "doubling_shared"):
-            method = "leaves_up"
         saved = meta.get("config")
         if saved:
             known = {f.name for f in dataclasses.fields(OracleConfig)}
             cfg = OracleConfig.from_dict({k: v for k, v in saved.items() if k in known})
         else:
             cfg = OracleConfig()
-        cfg = cfg.replace(
-            method=method,
+        changes: dict = dict(
             semiring=aug.semiring,
             keep_node_distances=bool(aug.node_distances),
         )
+        if aug.method == "hopset":
+            # A hopset lineage: cfg.method stays whatever the build used
+            # (it names the E⁺ algorithm, which did not run); the mode is
+            # what marks the artifact approximate.
+            changes["mode"] = "approx"
+        elif aug.method in ("leaves_up", "doubling", "doubling_shared"):
+            changes["method"] = aug.method
+        else:
+            changes["method"] = "leaves_up"
+        cfg = cfg.replace(**changes)
         aug.kernel = cfg.kernel
         return cls(
             aug.graph, aug.tree, aug, aug.schedule(),

@@ -64,7 +64,21 @@ class _Unset:
 UNSET = _Unset()
 
 _METHODS = ("leaves_up", "doubling", "doubling_shared")
+_MODES = ("exact", "approx", "auto")
 _ENGINES = ("scheduled", "naive")
+
+
+def _mode_error(name: object) -> ValueError:
+    """A helpful error for an unknown distance mode: names every valid mode
+    (same pattern as the kernel dispatcher's ``_kernel_error`` and the
+    separator registry's ``_engine_error``)."""
+    have = ", ".join(_MODES)
+    return ValueError(
+        f"unknown mode {name!r}; valid modes: {have} ('exact' serves exact "
+        f"E⁺ distances, 'approx' builds a (1+eps) hopset, 'auto' gates on "
+        f"separator quality via approx_gate; select via mode= or "
+        f"OracleConfig.mode)"
+    )
 _KERNELS = (None, "auto", "reference", "blocked", "pruned", "jit")
 _CACHE_MODES = ("off", "read", "readwrite")
 _SHARD_BACKENDS = ("inline", "process")
@@ -81,6 +95,27 @@ class OracleConfig:
         Augmentation algorithm: ``"leaves_up"`` (Algorithm 4.1),
         ``"doubling"`` (Algorithm 4.3) or ``"doubling_shared"``
         (Remark 4.4 shared pairing table).
+    mode:
+        Distance fidelity: ``"exact"`` builds E⁺ and serves exact
+        distances; ``"approx"`` builds a sampled-pivot ``(1+eps)`` hopset
+        instead (:mod:`repro.hopset`) — the fit for dense digraphs,
+        expanders and other graphs with no good separator; ``"auto"``
+        scores the best first-pass separator tree
+        (:func:`repro.separators.quality.separability_score`) and takes
+        the hopset path when the score falls below ``approx_gate``.
+    eps:
+        Approximation slack of the hopset modes: every served distance
+        satisfies ``d <= d_hat <= (1+eps)*d``.  Smaller eps means finer
+        shortcut-weight rounding (a larger, slower-to-build hopset);
+        ignored in exact mode.
+    hopset_beta:
+        Base hop budget ``k`` of the hopset construction (pivot rate
+        ``3*ln(n)/k``, ball depth ``k``); ``0`` derives the
+        work-balancing default ``k ~ sqrt(n*ln n)``.
+    approx_gate:
+        Separability threshold of ``mode="auto"``: below it the hopset
+        path is taken, at or above it the exact E⁺ build runs.  Scores
+        live in ``[0, 1]`` (grids score near 1, expanders near 0).
     separator:
         Decomposition engine when no tree is supplied: ``"auto"`` /
         ``"spectral"``, ``"planar"``, ``"treewidth"``, ``"multilevel"``,
@@ -181,6 +216,10 @@ class OracleConfig:
     """
 
     method: str = "leaves_up"
+    mode: str = "exact"
+    eps: float = 0.1
+    hopset_beta: int = 0
+    approx_gate: float = 0.5
     separator: str | Callable | None = "auto"
     semiring: str | Semiring = MIN_PLUS
     leaf_size: int = 8
@@ -207,6 +246,19 @@ class OracleConfig:
     def __post_init__(self) -> None:
         if self.method not in _METHODS:
             raise ValueError(f"method must be one of {_METHODS}, got {self.method!r}")
+        if self.mode not in _MODES:
+            raise _mode_error(self.mode)
+        if float(self.eps) < 0:
+            raise ValueError(f"eps must be >= 0, got {self.eps!r}")
+        if int(self.hopset_beta) < 0:
+            raise ValueError(
+                f"hopset_beta must be >= 0 (0 derives sqrt(n*ln n)), "
+                f"got {self.hopset_beta!r}"
+            )
+        if not 0.0 <= float(self.approx_gate) <= 1.0:
+            raise ValueError(
+                f"approx_gate must be in [0, 1], got {self.approx_gate!r}"
+            )
         if self.engine not in _ENGINES:
             raise ValueError(f"engine must be one of {_ENGINES}, got {self.engine!r}")
         if self.kernel not in _KERNELS:

@@ -107,6 +107,10 @@ class SeparatorTree:
         self.height: int = max(t.level for t in self.nodes)
         #: Stats record left by the flow refinement pass (None = unrefined).
         self.refinement: dict | None = None
+        #: Engine-selection record left by multi-engine builders
+        #: (``quality.best_first_pass``, ``api.build`` auto-mode gating):
+        #: per-candidate scores plus why this tree won (None = direct build).
+        self.selection: dict | None = None
         self.vertex_level = np.full(n, -1, dtype=np.int64)
         self.vertex_node = np.full(n, -1, dtype=np.int64)
         # Scan top-down (nodes are created parent-before-child) so the first
@@ -189,6 +193,7 @@ class SeparatorTree:
             "balance_worst": float(max(ratios)) if ratios else 0.0,
             "balance_mean": float(np.mean(ratios)) if ratios else 0.0,
             "refinement": self.refinement,
+            "selection": self.selection,
         }
 
     # -------------------------------------------------------------- #

@@ -1,0 +1,37 @@
+"""``repro.hopset`` — the (1+ε) approximate-distance subsystem.
+
+For digraphs with no good separator decomposition (dense, expander,
+social-graph-like), ``api.build`` swaps the exact E⁺ augmentation for a
+sampled-pivot hopset ``H`` (``mode="approx"``, or ``mode="auto"`` below the
+``approx_gate`` quality threshold) and serves bounded-hop Bellman–Ford over
+``G ∪ H`` with a ``d ≤ d̂ ≤ (1+ε)·d`` guarantee.
+
+* :mod:`.construct` — pivot sampling, hop-limited ball growing, geometric
+  weight rounding (:func:`build_hopset` / :func:`replay_hopset`).
+* :mod:`.augment` — :class:`HopsetAugmentation`, the E⁺-shaped adapter the
+  whole serving stack consumes unchanged.
+* :mod:`.engine` — :class:`ApproxEngine`, the
+  :class:`~repro.core.protocols.ServingBackend`-conforming query engine.
+"""
+
+from .augment import HopsetAugmentation, HopSchedule, trivial_tree
+from .construct import (
+    Hopset,
+    build_hopset,
+    default_hop_budget,
+    hop_cap_for,
+    replay_hopset,
+)
+from .engine import ApproxEngine
+
+__all__ = [
+    "ApproxEngine",
+    "Hopset",
+    "HopSchedule",
+    "HopsetAugmentation",
+    "build_hopset",
+    "default_hop_budget",
+    "hop_cap_for",
+    "replay_hopset",
+    "trivial_tree",
+]

@@ -1,0 +1,58 @@
+"""Approximate serving engine: :class:`~repro.core.query.QueryEngine` over
+a :class:`~repro.hopset.augment.HopsetAugmentation`.
+
+The inherited machinery needs no changes — the hopset augmentation already
+caps both engine modes at ``hop_cap`` and serves ``G ∪ H`` — so this
+subclass only (a) refuses to be built over an exact augmentation by
+accident, and (b) surfaces ``approx``/``eps``/hopset size through
+``stats()`` for the server's stats RPC and the CLI.
+
+Being a ``QueryEngine`` subclass, it satisfies the
+:class:`~repro.core.protocols.ServingBackend` protocol and takes the
+server's ``isinstance(engine, QueryEngine)`` reweight path as-is.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.query import QueryEngine
+from .augment import HopsetAugmentation
+
+__all__ = ["ApproxEngine"]
+
+
+class ApproxEngine(QueryEngine):
+    """Batched ``(1+ε)``-approximate distance queries over ``G ∪ H``.
+
+    Every served row satisfies ``d ≤ d̂ ≤ (1+ε)·d`` (soundness is
+    deterministic; the upper bound holds with the construction's
+    whp window-coverage guarantee — see :mod:`repro.hopset.construct`).
+    """
+
+    def __init__(self, aug, config=None, **kwargs) -> None:
+        if not isinstance(aug, HopsetAugmentation):
+            raise TypeError(
+                "ApproxEngine serves HopsetAugmentation objects; for an exact "
+                "E⁺ augmentation use QueryEngine (or oracle.query_engine(), "
+                "which dispatches on the augmentation type)"
+            )
+        super().__init__(aug, config, **kwargs)
+
+    @property
+    def eps(self) -> float:
+        return float(self.aug.eps)
+
+    def stats(self) -> dict[str, Any]:
+        """Inherited serving stats plus the approximate-mode fields
+        (``approx``/``mode``/``eps``/``hopset_edges``/``hop_cap``)."""
+        base = super().stats()
+        hopset = self.aug.hopset
+        base.update({
+            "approx": True,
+            "mode": "approx",
+            "eps": self.eps,
+            "hopset_edges": hopset.size if hopset is not None else 0,
+            "hop_cap": int(self.aug.diameter_bound),
+        })
+        return base

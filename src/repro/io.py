@@ -165,6 +165,31 @@ def save_augmentation(path, aug: Augmentation, *, config=None, validated: bool =
     cfg_dict = _serializable_config(config)
     if cfg_dict is not None:
         payload["config_json"] = json.dumps(cfg_dict, sort_keys=True)
+    hopset = getattr(aug, "hopset", None)
+    if hopset is not None:
+        # Hopset augmentations persist the construction record alongside the
+        # shortcut arrays (which already travel as aug_src/dst/weight), so a
+        # cache hit can replay the same pivots on reweight.
+        payload["hopset_json"] = json.dumps(
+            {
+                "eps": hopset.eps,
+                "beta": hopset.beta,
+                "rounded": hopset.rounded,
+                "hop_cap": hopset.hop_cap,
+                "seed": hopset.seed,
+                "build_wall_s": hopset.build_wall_s,
+                "budgets": [int(b) for b in hopset.budgets],
+            },
+            sort_keys=True,
+        )
+        pivots = list(hopset.pivots)
+        payload["hopset_pivots"] = (
+            np.concatenate(pivots) if pivots else np.empty(0, np.int64)
+        )
+        poff = np.zeros(len(pivots) + 1, dtype=np.int64)
+        for i, p in enumerate(pivots):
+            poff[i + 1] = poff[i] + p.shape[0]
+        payload["hopset_poff"] = poff
     import io as _io
 
     buf = _io.BytesIO()
@@ -258,16 +283,51 @@ def load_augmentation(path, *, arena=None, with_meta: bool = False):
         leaf_diameters = {
             int(k): int(d) for k, d in zip(z["leaf_idx"], z["leaf_diam"])
         }
-        aug = Augmentation(
-            graph=graph,
-            tree=tree,
-            semiring=semiring,
-            src=aug_src,
-            dst=aug_dst,
-            weight=np.asarray(aug_weight).astype(semiring.dtype, copy=False),
-            leaf_diameters=leaf_diameters,
-            node_distances={},
-            method=str(z["method"]),
-        )
+        weight = np.asarray(aug_weight).astype(semiring.dtype, copy=False)
+        if "hopset_json" in z.files:
+            from .hopset import Hopset, HopsetAugmentation  # local: avoids cycle
+
+            rec = json.loads(str(z["hopset_json"]))
+            flat, poff = z["hopset_pivots"], z["hopset_poff"]
+            pivots = tuple(
+                flat[poff[i] : poff[i + 1]].astype(np.int64)
+                for i in range(poff.shape[0] - 1)
+            )
+            aug = HopsetAugmentation(
+                graph=graph,
+                tree=tree,
+                semiring=semiring,
+                src=aug_src,
+                dst=aug_dst,
+                weight=weight,
+                leaf_diameters=leaf_diameters,
+                node_distances={},
+                method=str(z["method"]),
+                hopset=Hopset(
+                    src=aug_src,
+                    dst=aug_dst,
+                    weight=weight,
+                    pivots=pivots,
+                    budgets=tuple(int(b) for b in rec["budgets"]),
+                    eps=float(rec["eps"]),
+                    beta=int(rec["beta"]),
+                    rounded=bool(rec["rounded"]),
+                    hop_cap=int(rec["hop_cap"]),
+                    seed=int(rec["seed"]),
+                    build_wall_s=float(rec["build_wall_s"]),
+                ),
+            )
+        else:
+            aug = Augmentation(
+                graph=graph,
+                tree=tree,
+                semiring=semiring,
+                src=aug_src,
+                dst=aug_dst,
+                weight=weight,
+                leaf_diameters=leaf_diameters,
+                node_distances={},
+                method=str(z["method"]),
+            )
         aug.arena = arena
         return (aug, meta) if with_meta else aug

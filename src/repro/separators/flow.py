@@ -536,4 +536,6 @@ def decompose_flow(
     rec["first_pass"] = name
     if refined.refinement is None:  # fallback returned the first-pass tree
         refined.refinement = rec
+    if refined.selection is None:  # carry the engine decision onto the result
+        refined.selection = first.selection
     return refined

@@ -15,7 +15,13 @@ import numpy as np
 from ..core.digraph import WeightedDigraph
 from ..core.septree import SeparatorTree
 
-__all__ = ["DecompositionQuality", "assess", "best_first_pass", "eplus_score"]
+__all__ = [
+    "DecompositionQuality",
+    "assess",
+    "best_first_pass",
+    "eplus_score",
+    "separability_score",
+]
 
 
 @dataclass(frozen=True)
@@ -85,6 +91,19 @@ def eplus_score(tree: SeparatorTree) -> int:
     )
 
 
+def separability_score(tree: SeparatorTree) -> float:
+    """How separator-friendly the graph looks through this tree, in
+    ``[0, 1]``: ``1 − min(1, eplus_score / n²)``.
+
+    A good decomposition (|S(t)| ≪ |V(t)|) keeps the clique terms
+    near-linear, so the score approaches 1; an expander or dense digraph
+    forces Θ(n)-size top separators, the quadratic terms dominate n², and
+    the score collapses toward 0.  ``OracleConfig.approx_gate`` compares
+    against this value to decide exact-E⁺ vs hopset in ``mode="auto"``."""
+    n = max(1, tree.n)
+    return float(1.0 - min(1.0, eplus_score(tree) / float(n * n)))
+
+
 def best_first_pass(
     graph: WeightedDigraph,
     *,
@@ -93,21 +112,46 @@ def best_first_pass(
 ) -> tuple[str, SeparatorTree]:
     """Build one tree per candidate engine and keep the cheapest by
     :func:`eplus_score`.  Engines that fail on this graph are skipped; if
-    every candidate fails, the last error propagates."""
+    every candidate fails, the last error propagates.
+
+    The winning tree carries the full decision on ``tree.selection`` —
+    per-engine scores, failures, and why the winner won — so the choice is
+    observable downstream (``Augmentation.stats()["separators"]`` and the
+    server ``stats`` RPC) instead of silently discarded."""
     from . import decompose
 
     best: tuple[str, SeparatorTree] | None = None
     best_score = 0
     last_error: Exception | None = None
+    candidates: list[dict] = []
     for name in engines:
         try:
             tree = decompose(graph, name, leaf_size=leaf_size)
         except Exception as exc:  # noqa: BLE001 — any engine may reject a family
             last_error = exc
+            candidates.append(
+                {"engine": name, "error": f"{type(exc).__name__}: {exc}"}
+            )
             continue
         score = eplus_score(tree)
+        candidates.append(
+            {
+                "engine": name,
+                "eplus_score": score,
+                "separability": separability_score(tree),
+            }
+        )
         if best is None or score < best_score:
             best, best_score = (name, tree), score
     if best is None:
         raise last_error if last_error is not None else ValueError("no engines given")
+    name, tree = best
+    tree.selection = {
+        "chosen": name,
+        "why": (
+            f"lowest eplus_score ({best_score}) among "
+            f"{len(engines)} first-pass engine(s)"
+        ),
+        "candidates": candidates,
+    }
     return best

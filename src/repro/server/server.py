@@ -587,10 +587,14 @@ class OracleServer:
         # probe never stalls the event loop behind an in-flight batch.
         engine_stats = await loop.run_in_executor(None, self.engine.stats)
         cfg = self.server_config
+        aug = self.oracle.augmentation
+        approx = aug.method == "hopset"
         return {
             "server": self.metrics.snapshot(),
             "engine": engine_stats,
             "graph": {"n": int(self._graph.n), "m": int(self._graph.m)},
+            "mode": "approx" if approx else "exact",
+            "eps": float(getattr(aug, "eps", 0.0)) if approx else None,
             "separators": self.oracle.tree.separator_stats(),
             "cache": {
                 "build": dict(self.oracle.cache_info),

@@ -21,6 +21,7 @@ __all__ = [
     "path_digraph",
     "random_tree_digraph",
     "gnm_digraph",
+    "expander_digraph",
     "delaunay_digraph",
     "overlap_digraph",
     "apply_potential_weights",
@@ -119,6 +120,36 @@ def gnm_digraph(
     dst = rng.integers(0, n, size=m)
     keep = src != dst
     return WeightedDigraph(n, src[keep], dst[keep], _random_weights(int(keep.sum()), rng, *weight_range))
+
+
+def expander_digraph(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    degree: int = 8,
+    weight_range: tuple[float, float] = (1.0, 10.0),
+) -> WeightedDigraph:
+    """Random ``degree``-out digraph plus a Hamiltonian cycle — an expander
+    whp, i.e. *no* sublinear separator exists.  The regime where E⁺ blows
+    up and the hopset mode (:mod:`repro.hopset`) earns its keep; the cycle
+    guarantees strong connectivity so every distance is finite."""
+    if n < 2:
+        raise ValueError("n must be >= 2")
+    degree = min(int(degree), n - 1)
+    src = np.repeat(np.arange(n, dtype=np.int64), degree)
+    dst = rng.integers(0, n - 1, size=n * degree)
+    dst[dst >= src] += 1  # uniform over the n-1 non-self targets
+    cyc_src = np.arange(n, dtype=np.int64)
+    cyc_dst = np.roll(cyc_src, -1)
+    src = np.concatenate([src, cyc_src])
+    dst = np.concatenate([dst, cyc_dst])
+    # Drop parallel duplicates (a resampled target may repeat).
+    key = src * n + dst
+    _, keep = np.unique(key, return_index=True)
+    keep.sort()
+    src, dst = src[keep], dst[keep]
+    w = _random_weights(src.shape[0], rng, *weight_range)
+    return WeightedDigraph(n, src, dst, w)
 
 
 def delaunay_digraph(
